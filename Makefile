@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-paper examples export selftest clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	pytest benchmarks/ --benchmark-only --paper-scale
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+export:
+	python -m repro export -o results.json
+
+selftest:
+	python -m repro selftest --deep
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache results.json
+	find . -name __pycache__ -type d -exec rm -rf {} +

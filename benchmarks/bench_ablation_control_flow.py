@@ -1,0 +1,28 @@
+"""Ablation A4: the control-flow DAG (Section 4).
+
+"The control flow ... increases performance by preventing the scheduler
+of the runtime system to take wrong decisions (e.g., selecting a GEMM
+that is ready but that requires to eject some data that could be reused
+from that GPU memory)."  Without the control edges a greedy scheduler
+thrashes the resident B block; this ablation prices that thrashing.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_control_flow
+from repro.experiments.c65h132 import problem
+from repro.experiments.report import fmt_table
+from repro.machine.spec import summit
+
+
+def test_control_flow_dag(benchmark):
+    prob = problem("v1")
+    machine = summit(2)
+    rows = run_once(
+        benchmark, lambda: ablation_control_flow(prob.t_shape, prob.v_shape, machine)
+    )
+    print("\nAblation A4 — control DAG on/off (C65H132 v1, 2 nodes)")
+    print(fmt_table(["configuration", "time (s)"], rows))
+
+    slowdown = float(rows[-1][1].rstrip("x"))
+    assert slowdown > 1.3, "control DAG should matter on an I/O-bound instance"

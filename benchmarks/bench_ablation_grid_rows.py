@@ -1,0 +1,41 @@
+"""Ablation A1: the grid-rows (p) trade-off of Section 3.1.
+
+"Using p = 1 avoids the replication of B but increases the communication
+volume of A; using p >= 2 requires p copies of each column of B but
+decreases the communication volume of A by a factor p."  This ablation
+sweeps p on a square synthetic instance (where A traffic matters most)
+and verifies both sides of the trade-off.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_grid_rows
+from repro.experiments.report import fmt_table
+from repro.machine.spec import summit
+from repro.sparse.random_sparsity import random_shape_with_density
+from repro.tiling.random import random_tiling
+
+
+def _instance():
+    machine = summit(8)
+    rows = random_tiling(48_000, 512, 2048, seed=0)
+    inner = random_tiling(96_000, 512, 2048, seed=1)
+    a = random_shape_with_density(rows, inner, 1.0, seed=2)
+    b = random_shape_with_density(inner, inner, 1.0, seed=3)
+    return a, b, machine
+
+
+def test_grid_rows_tradeoff(benchmark):
+    a, b, machine = _instance()
+    rows = run_once(benchmark, lambda: ablation_grid_rows(a, b, machine, (1, 2, 4, 8)))
+    print("\nAblation A1 — grid rows p (dense 48k x 96k x 96k, 8 nodes)")
+    print(fmt_table(["p", "time (s)", "Tflop/s", "A moved (GB)", "B gen (GB)"], rows))
+
+    ps = [r[0] for r in rows]
+    a_moved = [float(r[3]) for r in rows]
+    b_gen = [float(r[4]) for r in rows]
+    assert ps[0] == 1
+    # A broadcast volume strictly decreases with p ...
+    assert all(x > y for x, y in zip(a_moved, a_moved[1:]))
+    # ... while B replication (generation volume) grows with p.
+    assert all(x <= y * 1.001 for x, y in zip(b_gen, b_gen[1:]))

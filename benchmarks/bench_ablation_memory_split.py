@@ -1,0 +1,36 @@
+"""Ablation A3: the 50 % block / 25 % chunk / 25 % prefetch memory split.
+
+The paper fixes the split at 50/25/25 (Sections 3.2.2-3.2.3).  This
+ablation compares against a smaller-block and a larger-block split on the
+C65H132 v2 instance and reports blocks/chunks/time for each — smaller
+blocks mean more block loads (B re-streamed more often is avoided, but
+more A re-loads per column set), larger blocks squeeze the chunk budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import ablation_memory_split
+from repro.experiments.c65h132 import problem
+from repro.experiments.report import fmt_table
+from repro.machine.spec import summit
+
+
+def test_memory_split(benchmark):
+    prob = problem("v2")
+    machine = summit(4)
+    splits = ((0.25, 0.125), (0.5, 0.25), (0.8, 0.09))
+    rows = run_once(
+        benchmark,
+        lambda: ablation_memory_split(prob.t_shape, prob.v_shape, machine, splits),
+    )
+    print("\nAblation A3 — GPU memory split (block/chunk fractions), C65H132 v2, 4 nodes")
+    print(fmt_table(["split", "#blocks", "#chunks", "time (s)", "Tflop/s"], rows))
+
+    by_split = {r[0]: r for r in rows}
+    # Smaller blocks -> strictly more blocks -> more A re-streaming.
+    assert by_split["0.25/0.125"][1] > by_split["0.50/0.250"][1]
+    # The paper's 50/25 choice is not beaten by more than 15 % by either
+    # alternative on this instance.
+    t_paper = float(by_split["0.50/0.250"][3])
+    for key in ("0.25/0.125", "0.80/0.090"):
+        assert t_paper <= float(by_split[key][3]) * 1.15

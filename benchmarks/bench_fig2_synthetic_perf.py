@@ -1,0 +1,75 @@
+"""Fig. 2: synthetic performance vs (N=K, density), PaRSEC and libDBCSR.
+
+Regenerates both panels of the paper's Fig. 2 on 16 Summit nodes (96
+GPUs, aggregate GEMM peak 672 Tflop/s) and checks the paper's qualitative
+findings:
+
+* density dominates performance ("the density has more impact than the
+  problem size or shape");
+* performance grows with N=K from the square case;
+* the PaRSEC algorithm outperforms libDBCSR on every feasible point
+  ("PaRSEC outperforms libDBCSR in all our experiments");
+* libDBCSR runs out of device memory on large dense instances while the
+  paper's algorithm has no such limit.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.baselines.dbcsr import dbcsr_simulate
+from repro.experiments.synthetic import fig2_table
+from repro.machine.spec import summit
+from repro.sparse.random_sparsity import random_shape_with_density
+from repro.tiling.random import random_tiling
+
+
+def test_fig2_performance_sweep(benchmark, synthetic_points):
+    points = run_once(benchmark, lambda: synthetic_points)
+    print("\nFig. 2 — performance (16 nodes / 96 GPUs, peak 672 Tflop/s)")
+    print(fig2_table(points))
+
+    by_nk = defaultdict(dict)
+    for p in points:
+        by_nk[p.nk][p.density] = p
+
+    # Density ordering at every N=K: denser never slower (within 5 %).
+    for nk, dens_map in by_nk.items():
+        ds = sorted(dens_map)
+        for lo, hi in zip(ds, ds[1:]):
+            assert dens_map[hi].parsec_perf >= 0.95 * dens_map[lo].parsec_perf, (
+                f"density ordering violated at N=K={nk}"
+            )
+
+    # Performance grows from the square case to the largest N=K (dense).
+    nks = sorted(by_nk)
+    assert by_nk[nks[-1]][1.0].parsec_perf > by_nk[nks[0]][1.0].parsec_perf
+
+    # PaRSEC beats DBCSR on every feasible point.
+    for p in points:
+        if p.dbcsr is not None and p.dbcsr.feasible:
+            assert p.parsec_perf > p.dbcsr.perf, (
+                f"DBCSR faster at N=K={p.nk}, d={p.density}"
+            )
+
+    # Square dense anchor lands in the paper's band (paper: 203 Tflop/s).
+    anchor = by_nk[48_000][1.0]
+    assert 80e12 < anchor.parsec_perf < 450e12
+
+
+def test_fig2_dbcsr_oom_on_large_dense(benchmark):
+    """The paper: "problems of size (48k, 192k, 192k) or more result in an
+    error when trying to allocate the memory on some CUDA devices"."""
+
+    def run():
+        machine = summit(16)
+        rows = random_tiling(48_000, 512, 2048, seed=0)
+        inner = random_tiling(240_000, 512, 2048, seed=1)
+        a = random_shape_with_density(rows, inner, 1.0, seed=2)
+        b = random_shape_with_density(inner, inner, 1.0, seed=3)
+        return dbcsr_simulate(a, b, machine)
+
+    report = run_once(benchmark, run)
+    print(f"\nlibDBCSR on dense (48k, 240k, 240k): {report.summary()}")
+    assert not report.feasible
+    assert "memory" in report.error

@@ -1,0 +1,39 @@
+"""Fig. 3: theoretical arithmetic intensity of the synthetic instances.
+
+The paper's Fig. 3 plots flops / (aggregate size of A, B, C) — an upper
+bound on attainable intensity — and uses it to explain Fig. 2: intensity
+grows with N=K and collapses with density, which is why the sparse
+problems are GPU-I/O bound.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments.synthetic import fig3_table
+
+
+def test_fig3_intensity(benchmark, synthetic_points):
+    points = run_once(benchmark, lambda: synthetic_points)
+    print("\nFig. 3 — theoretical arithmetic intensity")
+    print(fig3_table(points))
+
+    by_nk = defaultdict(dict)
+    for p in points:
+        by_nk[p.nk][p.density] = p
+
+    # Intensity decreases with sparsity at every size.
+    for nk, dens_map in by_nk.items():
+        ds = sorted(dens_map)
+        for lo, hi in zip(ds, ds[1:]):
+            assert dens_map[hi].intensity > dens_map[lo].intensity
+
+    # Intensity grows with N=K at fixed density.
+    nks = sorted(by_nk)
+    for d in by_nk[nks[0]]:
+        assert by_nk[nks[-1]][d].intensity > by_nk[nks[0]][d].intensity
+
+    # Dense square case: AI of an (M, N, K) GEMM = 2MNK/8(MK+KN+MN);
+    # with M = K = N = 48k that is N/12 = 4000 flop/byte.
+    dense_sq = by_nk[48_000][1.0]
+    assert abs(dense_sq.intensity - 4000) / 4000 < 0.05

@@ -1,0 +1,36 @@
+"""Fig. 4: time to completion of the synthetic instances.
+
+The paper's observation: although Tflop/s drops with sparsity, "the time
+to solution remains dominated by the number of operations; since the
+latter decreases faster than the performance, the time to solution also
+decreases with the density".
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments.synthetic import fig4_table
+
+
+def test_fig4_time_to_completion(benchmark, synthetic_points):
+    points = run_once(benchmark, lambda: synthetic_points)
+    print("\nFig. 4 — time to completion (16 nodes)")
+    print(fig4_table(points))
+
+    by_nk = defaultdict(dict)
+    for p in points:
+        by_nk[p.nk][p.density] = p
+
+    # Sparser problems finish sooner at every size.
+    for nk, dens_map in by_nk.items():
+        ds = sorted(dens_map)
+        for lo, hi in zip(ds, ds[1:]):
+            assert dens_map[lo].parsec_time < dens_map[hi].parsec_time, (
+                f"time ordering violated at N=K={nk}: d={lo} vs d={hi}"
+            )
+
+    # Larger problems take longer at fixed density.
+    nks = sorted(by_nk)
+    for d in by_nk[nks[0]]:
+        assert by_nk[nks[-1]][d].parsec_time > by_nk[nks[0]][d].parsec_time

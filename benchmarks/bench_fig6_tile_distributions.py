@@ -1,0 +1,37 @@
+"""Fig. 6: tile-size (MB) distributions for tilings v1/v2/v3.
+
+The paper histograms the matricized tile sizes: v1 concentrates around a
+few MB, v2 spreads to ~40 MB, v3 to ~200 MB.  The same distributions are
+regenerated and summarized here.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.c65h132 import fig6_tile_mb
+from repro.tiling.stats import TileSizeStats
+
+
+def test_fig6_tile_size_distributions(benchmark):
+    samples = run_once(
+        benchmark, lambda: {v: fig6_tile_mb(v) for v in ("v1", "v2", "v3")}
+    )
+    print("\nFig. 6 — matricized tile sizes (MB) of V per tiling")
+    stats = {}
+    for v, mb in samples.items():
+        s = TileSizeStats.from_sample(mb)
+        stats[v] = s
+        print(f"  {v}: {s.row()}")
+        # Coarse histogram like the paper's panels.
+        counts, edges = np.histogram(mb, bins=10)
+        bars = "".join(
+            "#" if c > counts.max() * 0.5 else ("+" if c > 0 else ".") for c in counts
+        )
+        print(f"      histogram [{edges[0]:.1f}..{edges[-1]:.1f} MB]: {bars}")
+
+    # Mean tile size grows by roughly an order of magnitude per variant
+    # step, as in the paper (few MB -> tens of MB -> ~200 MB tails).
+    assert stats["v1"].mean < stats["v2"].mean < stats["v3"].mean
+    assert stats["v1"].maximum < 70
+    assert stats["v2"].maximum > 20
+    assert stats["v3"].maximum > 100

@@ -1,0 +1,43 @@
+"""Fig. 8: performance per GPU for the C65H132 ABCD term.
+
+Paper findings checked here: per-GPU performance follows an inverse trend
+with tiling granularity (coarser tiles -> more flops per kernel -> higher
+per-GPU rate, up to ~2.5 Tflop/s for v3 = ~35 % of the 7.2 Tflop/s
+practical peak); it degrades as GPUs are added ("GPU I/O dominates"); and
+it is far below peak throughout — the arithmetic intensity is too low.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import fmt_table
+
+
+def test_fig8_perf_per_gpu(benchmark, scaling_data):
+    data = run_once(benchmark, lambda: scaling_data)
+    rows = []
+    for g_idx in range(len(data["v1"])):
+        pts = [data[v][g_idx] for v in ("v1", "v2", "v3")]
+        rows.append(
+            [pts[0].gpus] + [f"{p.perf_per_gpu / 1e12:6.2f}" for p in pts]
+        )
+    print("\nFig. 8 — Tflop/s per GPU vs #GPUs")
+    print(fmt_table(["#GPUs", "v1", "v2", "v3"], rows))
+    from repro.experiments.figures import scaling_chart
+
+    print(scaling_chart(data, "perf_per_gpu"))
+
+    peak = 7.2e12
+    for v, series in data.items():
+        # Always well below the practical peak (paper: at most ~35 %).
+        assert all(p.perf_per_gpu < 0.55 * peak for p in series), v
+        # Degrades from few GPUs to many.
+        assert series[-1].perf_per_gpu < series[0].perf_per_gpu, v
+
+    # Inverse trend with tiling: coarse v3 beats fine v1 per GPU.
+    for g_idx in range(len(data["v1"])):
+        assert (
+            data["v3"][g_idx].perf_per_gpu >= data["v1"][g_idx].perf_per_gpu
+        ), f"v3 not >= v1 at index {g_idx}"
+
+    # v3's few-GPU point lands in the paper's band (~2.5 Tflop/s).
+    assert 1.2e12 < data["v3"][0].perf_per_gpu < 3.5e12

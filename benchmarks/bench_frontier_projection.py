@@ -1,0 +1,51 @@
+"""Exascale projection: the paper's algorithm on a Frontier-like machine.
+
+The introduction frames the work against the "forthcoming Frontier
+exascale system ... announced with four AMD Radeon GPUs per node".  This
+benchmark runs the C65H132 contraction on matched-GPU-count Summit and
+Frontier-like partitions and asks the forward-looking question the paper
+raises: when per-GPU compute grows ~3x but feeding bandwidth grows less,
+does the block-sparse contraction become even more I/O-bound?
+"""
+
+from conftest import run_once
+
+from repro.core import psgemm_simulate
+from repro.experiments.c65h132 import problem
+from repro.experiments.report import fmt_table
+from repro.machine.spec import frontier, summit
+
+
+def test_frontier_projection(benchmark):
+    prob = problem("v3")
+
+    def run():
+        rows = []
+        for label, mach in (
+            ("Summit, 2 nodes / 12 GPUs", summit(2)),
+            ("Frontier-like, 3 nodes / 12 GPUs", frontier(3)),
+        ):
+            plan, rep = psgemm_simulate(prob.t_shape, prob.v_shape, mach, p=1)
+            peak = mach.aggregate_gemm_peak
+            rows.append(
+                (label, rep.makespan, rep.perf, rep.perf / peak, peak)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nExascale projection — C65H132 v3 at 12 GPUs")
+    print(fmt_table(
+        ["machine", "time (s)", "Tflop/s", "% of GEMM peak"],
+        [
+            [label, f"{t:8.2f}", f"{p / 1e12:7.1f}", f"{frac:7.1%}"]
+            for label, t, p, frac, _ in rows
+        ],
+    ))
+
+    t_summit, t_frontier = rows[0][1], rows[1][1]
+    eff_summit, eff_frontier = rows[0][3], rows[1][3]
+    # Absolute time improves on the bigger-GPU machine ...
+    assert t_frontier < t_summit
+    # ... but a *smaller fraction* of its GEMM peak is attained — the
+    # compute/bandwidth scissors the paper's HPCG framing warns about.
+    assert eff_frontier < eff_summit

@@ -1,0 +1,34 @@
+"""Section 5.2's CPU comparison: MPQC CPU-only vs the GPU implementation.
+
+Paper: the CPU-only MPQC ABCD evaluation took {308, 158} s on {8, 16}
+Summit nodes; the GPU implementation with tiling v3 on the same nodes
+"would reduce the time to solution by a factor of ~10".
+"""
+
+from conftest import run_once
+
+from repro.baselines.cpu_mpqc import PAPER_MEASURED, mpqc_cpu_time
+from repro.experiments.c65h132 import traits
+from repro.experiments.mpqc_compare import mpqc_comparison_rows, mpqc_comparison_text
+
+
+def test_mpqc_cpu_model_matches_paper(benchmark):
+    """The CPU model reproduces the paper's measured CPU-only times."""
+    flops = run_once(benchmark, lambda: traits("v3").flops)
+    for nodes, measured in PAPER_MEASURED.items():
+        t = mpqc_cpu_time(flops, nodes)
+        print(f"CPU-only ABCD on {nodes} nodes: model {t:.0f} s, paper {measured:.0f} s")
+        # Within 40 % (our flop count itself differs ~20 % from the paper's).
+        assert abs(t - measured) / measured < 0.40
+
+
+def test_gpu_speedup_over_cpu(benchmark):
+    rows = run_once(benchmark, lambda: mpqc_comparison_rows())
+    print("\nSection 5.2 — CPU-only MPQC vs GPU (tiling v3)")
+    print(mpqc_comparison_text())
+    for row in rows:
+        speedup = float(row[-1].rstrip("x"))
+        # Paper: ~10x; our simulated GPU runs are faster than Summit's
+        # measured ones (see EXPERIMENTS.md), so accept a broad band that
+        # still proves the order-of-magnitude claim.
+        assert 5.0 < speedup < 60.0

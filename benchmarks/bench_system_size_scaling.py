@@ -1,0 +1,71 @@
+"""Reduced-scaling check: cost growth with molecule size.
+
+Section 5.2 motivates the whole enterprise: dense CCSD's ABCD term costs
+2 O^2 U^4 (~0.47 Eflop for C65H132) while the block-sparse evaluation
+needs ~1 Pflop — "reduction of the operation cost by more than two orders
+of magnitude".  For quasi-1D systems the screened flop count must grow
+like a low-order polynomial of chain length, not N^6.  This benchmark
+sweeps alkane sizes at proportional clustering granularity and verifies
+both the sparse/dense separation and its growth.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.chem import TilingVariant, alkane, build_abcd_problem
+from repro.core import psgemm_simulate
+from repro.experiments.report import fmt_table
+from repro.machine.spec import summit
+from repro.sparse.shape_algebra import gemm_flops
+
+
+def test_system_size_scaling(benchmark):
+    chain_lengths = (16, 24, 32, 48, 65)
+
+    def run():
+        rows = []
+        for n in chain_lengths:
+            mol = alkane(n)
+            prob = build_abcd_problem(
+                mol, TilingVariant(f"n{n}", max(3, n // 8), n), seed=0
+            )
+            sparse_flops = gemm_flops(prob.t_shape, prob.v_shape)
+            dense_flops = 2.0 * prob.kept_pairs() * prob.U**4
+            _, rep = psgemm_simulate(prob.t_shape, prob.v_shape, summit(2), p=1)
+            rows.append(
+                (n, prob.U, sparse_flops, dense_flops, rep.makespan)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = [
+        [n, u, f"{sf / 1e12:9.1f}", f"{df / 1e15:9.2f}", f"{df / sf:7.0f}x",
+         f"{t:8.2f}"]
+        for n, u, sf, df, t in rows
+    ]
+    print("\nReduced scaling — ABCD cost vs chain length (2 nodes)")
+    print(fmt_table(
+        ["C_n", "U", "sparse Tflop", "dense Pflop", "reduction", "time (s)"],
+        table,
+    ))
+
+    ns = np.array([r[0] for r in rows], dtype=float)
+    sparse = np.array([r[2] for r in rows])
+    dense = np.array([r[3] for r in rows])
+
+    # Dense/sparse separation grows with system size (the reduced-scaling
+    # payoff) and exceeds two orders of magnitude at C65, as in the paper.
+    reduction = dense / sparse
+    assert reduction[-1] > reduction[0]
+    assert reduction[-1] > 100
+
+    # Empirical growth exponent of the sparse cost: fit log-log slope.
+    slope = np.polyfit(np.log(ns), np.log(sparse), 1)[0]
+    dense_slope = np.polyfit(np.log(ns), np.log(dense), 1)[0]
+    print(f"growth exponents: sparse ~ N^{slope:.2f}, dense ~ N^{dense_slope:.2f}")
+    assert slope < dense_slope - 1.0  # materially below the dense exponent
+    assert slope < 4.5  # far from N^6
+
+    # Time grows monotonically but sub-dense.
+    times = np.array([r[4] for r in rows])
+    assert all(b > a for a, b in zip(times, times[1:]))

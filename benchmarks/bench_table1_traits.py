@@ -1,0 +1,53 @@
+"""Table 1: problem traits of C65H132 under tilings v1/v2/v3.
+
+Regenerates every row of the paper's Table 1 from our own chemistry
+pipeline (geometry -> def2-SVP AOs -> bond orbitals -> k-means clustering
+-> decay screening) and checks each against the paper's value.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.c65h132 import PAPER_TABLE1, table1_text
+
+
+def test_table1_traits(benchmark, all_traits):
+    trs = run_once(benchmark, lambda: all_traits)
+    print("\nTable 1 — C65H132 traits (ours vs paper)")
+    print(table1_text())
+
+    # Dimensions are exact: the basis/orbital counting must match.
+    for t in trs.values():
+        assert t.N == t.K == 1570**2
+        assert t.M == 196**2
+
+    # Kept pairs within 10 % of the paper's M = 26 576.
+    for t in trs.values():
+        assert abs(t.kept_pairs - 26_576) / 26_576 < 0.10
+
+    # Flops within 35 % of the paper, tasks within a factor 1.6.
+    for v, t in trs.items():
+        paper_f = PAPER_TABLE1["#flop"][v]
+        assert abs(t.flops - paper_f) / paper_f < 0.35, f"{v} flops off"
+        paper_t = PAPER_TABLE1["#GEMM tasks"][v]
+        assert 1 / 1.6 < t.tasks / paper_t < 1.6, f"{v} task count off"
+
+    # The paper's headline contrast: task count drops ~30x from v1 to v3
+    # while the flop count *rises* — the dual aspect of tiling.
+    assert trs["v1"].tasks / trs["v3"].tasks > 15
+    assert trs["v3"].flops >= trs["v1"].flops
+
+    # Densities in the paper's bands.
+    for v, t in trs.items():
+        assert t.density_v == pytest.approx(PAPER_TABLE1["Density of V"][v], abs=0.01)
+        assert t.density_t == pytest.approx(PAPER_TABLE1["Density of T"][v], abs=0.05)
+
+    # "opt" screening drops ~3 % of tasks, as in the paper.
+    for t in trs.values():
+        drop = 1 - t.tasks_opt / t.tasks
+        assert 0.005 < drop < 0.08
+
+    # Reduced-scaling pitch of Section 5.2: using sparsity evaluates the
+    # term in ~1 Pflop instead of the dense 2 O^2 U^4 ~ 0.47 Eflop.
+    dense_flops = 2 * 26_576 * 1570**4
+    assert trs["v1"].flops < dense_flops / 100

@@ -1,0 +1,60 @@
+"""Weak scaling: growing molecules on growing partitions.
+
+The paper evaluates strong scaling only; its future work asks to "extend
+the experiments to larger problems".  Weak scaling is the natural probe:
+grow the alkane with the node count so each node keeps a similar flop
+share, and watch the completion time.  For a perfectly scalable algorithm
+the time would stay flat; the A broadcast (which grows with *both* the
+molecule and the consumer count) makes it drift — the same limiter the
+paper identifies in strong scaling.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.chem import TilingVariant, alkane, build_abcd_problem
+from repro.core import psgemm_simulate
+from repro.experiments.report import fmt_table
+from repro.machine.spec import summit
+from repro.sparse.shape_algebra import gemm_flops
+
+
+def test_weak_scaling(benchmark):
+    # Chain length chosen so flops/node is roughly constant: the screened
+    # flop count grows ~ N^2.4 (see bench_system_size_scaling), so N is
+    # picked ~ nodes^(1/2.4).
+    points = [(1, 24), (2, 33), (4, 44), (8, 59)]
+
+    def run():
+        rows = []
+        for nodes, n_carbons in points:
+            prob = build_abcd_problem(
+                alkane(n_carbons),
+                TilingVariant(f"n{n_carbons}", max(3, n_carbons // 8), n_carbons),
+                seed=0,
+            )
+            flops = gemm_flops(prob.t_shape, prob.v_shape)
+            _, rep = psgemm_simulate(prob.t_shape, prob.v_shape, summit(nodes), p=1)
+            rows.append((nodes, n_carbons, flops, rep.makespan, rep.perf))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nWeak scaling — alkane size grown with the partition")
+    print(fmt_table(
+        ["nodes", "chain", "Tflop", "flops/node (T)", "time (s)", "Tflop/s"],
+        [
+            [nd, f"C{nc}", f"{f / 1e12:7.1f}", f"{f / nd / 1e12:7.1f}",
+             f"{t:8.2f}", f"{p / 1e12:7.1f}"]
+            for nd, nc, f, t, p in rows
+        ],
+    ))
+
+    flops_per_node = np.array([r[2] / r[0] for r in rows])
+    times = np.array([r[3] for r in rows])
+    # Work per node held within a factor ~2 across the sweep.
+    assert flops_per_node.max() / flops_per_node.min() < 2.0
+    # Weak-scaling time drift stays bounded (within 3x of the first point)
+    # while aggregate throughput grows with the partition.
+    assert times.max() / times[0] < 3.0
+    perfs = [r[4] for r in rows]
+    assert perfs[-1] > perfs[0]

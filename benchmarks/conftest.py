@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive artifacts (the synthetic sweep, the C65H132 scaling runs) are
+built once per session and shared across the per-figure benchmarks, the
+same way the paper's figures share runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.c65h132 import GPU_COUNTS, scaling_series, traits
+from repro.experiments.synthetic import fig2_sweep
+
+#: Reduced GPU-count grid for the default benchmark run (the full paper
+#: grid is GPU_COUNTS; override with --paper-scale).
+QUICK_GPU_COUNTS = (3, 6, 12, 48, 108)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the full paper-size parameter sweeps (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def synthetic_points(paper_scale):
+    """The (N=K) x density sweep shared by Figs. 2, 3 and 4."""
+    return fig2_sweep(scale="paper" if paper_scale else "quick", seed=0)
+
+
+@pytest.fixture(scope="session")
+def gpu_counts(paper_scale):
+    return GPU_COUNTS if paper_scale else QUICK_GPU_COUNTS
+
+
+@pytest.fixture(scope="session")
+def scaling_data(gpu_counts):
+    """Strong-scaling series per tiling variant (Figs. 7, 8, 9)."""
+    return {v: scaling_series(v, gpu_counts=gpu_counts) for v in ("v1", "v2", "v3")}
+
+
+@pytest.fixture(scope="session")
+def all_traits():
+    """Table 1 traits per tiling variant."""
+    return {v: traits(v) for v in ("v1", "v2", "v3")}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The benchmarks regenerate paper tables from simulations; repeating
+    them only re-measures the simulator, so one round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""CCSD-style amplitude iterations over the distributed contraction.
+
+The ABCD term exists to be evaluated "in typically 10-20 iterations" while
+the amplitudes T are refined until the residual R vanishes.  This example
+runs that loop on a representative linear amplitude equation
+``T = T0 + T @ Vs`` with the contraction executed through the full
+distributed plan each iteration, and shows the dynamic block sparsity
+(tiles pruned as they fall below threshold).
+
+Run:  python examples/ccsd_iterations.py
+"""
+
+from repro.chem.ccsd import scale_coupling, solve_amplitudes
+from repro.machine import summit
+from repro.sparse import random_block_sparse
+from repro.tiling import random_tiling
+
+
+def main() -> None:
+    rows = random_tiling(300, 25, 80, seed=1)    # fused occupied pairs
+    inner = random_tiling(1200, 25, 80, seed=2)  # fused AO pairs
+    t0 = random_block_sparse(rows, inner, density=0.35, seed=3)
+    vs = scale_coupling(random_block_sparse(inner, inner, density=0.35, seed=4))
+
+    machine = summit(2)
+    print(f"T0: {t0}\nVs: {vs}\n")
+    trace = solve_amplitudes(
+        t0, vs, max_iter=25, tol=1e-9, prune_tol=1e-10, machine=machine, p=2
+    )
+
+    print("iter   ||R||_F        nnz(T)")
+    for i, (r, nnz) in enumerate(zip(trace.residual_norms, trace.nnz_history), 1):
+        print(f"{i:>4}   {r:12.3e}  {nnz:>8}")
+    print(f"\nconverged: {trace.converged} in {trace.iterations} iterations "
+          f"(each one a full distributed block-sparse contraction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Inside the runtime: the two-DAG task graph and its execution trace.
+
+Builds a small contraction, expands its plan into the PaRSEC-style task
+graph — dataflow edges (GEMMs wait for their tiles) plus control edges
+(blocking block loads, two-deep chunk prefetch) — runs it through the
+discrete-event engine at per-GEMM granularity, and prints the resulting
+trace: an ASCII Gantt chart, per-resource utilization, and the edge-set
+sizes of the two superimposed DAGs (Section 4 of the paper).
+
+Run:  python examples/runtime_trace.py
+"""
+
+from repro.core import psgemm_plan
+from repro.machine import summit
+from repro.runtime.dag import build_task_graph
+from repro.sparse import random_shape_with_density
+from repro.tiling import random_tiling
+from repro.util import fmt_time
+
+
+def main() -> None:
+    rows = random_tiling(1_000, 100, 300, seed=1)
+    inner = random_tiling(6_000, 100, 300, seed=2)
+    a = random_shape_with_density(rows, inner, 0.5, seed=3)
+    b = random_shape_with_density(inner, inner, 0.5, seed=4)
+    machine = summit(1)
+
+    plan = psgemm_plan(a, b, machine, p=1)
+    print(plan.summary())
+
+    graph = build_task_graph(plan, machine, granularity="task")
+    print(f"\nTask graph: {graph.ntasks} tasks, "
+          f"{graph.dataflow_edges} dataflow edges, "
+          f"{graph.control_edges} control edges")
+
+    trace = graph.engine.run()
+    print(f"\nSimulated makespan: {fmt_time(trace.makespan)}")
+    print("\nGantt (one row per resource):")
+    print(trace.gantt(width=72))
+    print("\nUtilization:")
+    for res, u in trace.utilization().items():
+        print(f"  {res:>16s}: {u:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The synthetic evaluation of Section 5.1 (paper Figs. 2, 3, 4).
+
+Sweeps N = K and density on 16 simulated Summit nodes with M = 48k and
+random tile sizes in [512, 2048], pricing both the paper's algorithm
+(with the grid-rows parameter autotuned) and the libDBCSR baseline —
+including the baseline's out-of-memory failures on large dense points.
+
+Run:  python examples/synthetic_sweep.py [--paper-scale] [--no-dbcsr]
+"""
+
+import argparse
+
+from repro.experiments.synthetic import (
+    fig2_sweep,
+    fig2_table,
+    fig3_table,
+    fig4_table,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--paper-scale", action="store_true",
+                    help="run the full Fig. 2 x-axis (slower)")
+    ap.add_argument("--no-dbcsr", action="store_true",
+                    help="skip the libDBCSR baseline")
+    args = ap.parse_args()
+
+    points = fig2_sweep(
+        scale="paper" if args.paper_scale else "quick",
+        with_dbcsr=not args.no_dbcsr,
+    )
+
+    print("Fig. 2 — performance (16 nodes / 96 GPUs; aggregate peak 672 Tflop/s)")
+    print(fig2_table(points))
+    print("\nFig. 3 — theoretical arithmetic intensity")
+    print(fig3_table(points))
+    print("\nFig. 4 — time to completion")
+    print(fig4_table(points))
+
+
+if __name__ == "__main__":
+    main()

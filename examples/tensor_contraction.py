@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Order-4 block-sparse tensor contraction through the public tensor API.
+
+The paper's Eq. (1): ``R[i,j,a,b] = sum_cd T[i,j,c,d] * V[c,d,a,b]``.
+This example builds small block-sparse T and V tensors, contracts them
+with the einsum-like spec ``"ijcd,cdab->ijab"`` (which matricizes both
+operands and runs the block GEMM), and verifies against ``numpy.einsum``.
+
+Run:  python examples/tensor_contraction.py
+"""
+
+import numpy as np
+
+from repro.tensor import BlockSparseTensor, contract, plan_contraction
+from repro.tiling import Tiling
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    o = Tiling.from_sizes([3, 4, 2])   # occupied range, 9 orbitals
+    u = Tiling.from_sizes([5, 3, 4])   # AO range, 12 functions
+
+    # Dense masters with artificial block sparsity.
+    t_dense = rng.standard_normal((9, 9, 12, 12))
+    v_dense = rng.standard_normal((12, 12, 12, 12))
+    t_dense[np.abs(t_dense) < 0.8] *= 0.0  # thin out
+    v_dense[np.abs(v_dense) < 0.8] *= 0.0
+
+    T = BlockSparseTensor.from_dense(t_dense, "ijcd", [o, o, u, u])
+    V = BlockSparseTensor.from_dense(v_dense, "cdab", [u, u, u, u])
+    print(f"T: {T}\nV: {V}")
+
+    plan = plan_contraction("ijcd,cdab->ijab", T, V)
+    am, bm = plan.matricized_a(), plan.matricized_b()
+    print(f"\nMatricized: A is {am.shape[0]}x{am.shape[1]} "
+          f"({am.tile_grid[0]}x{am.tile_grid[1]} tiles), "
+          f"B is {bm.shape[0]}x{bm.shape[1]} — the paper's C <- C + A @ B")
+
+    R = contract("ijcd,cdab->ijab", T, V)
+    ref = np.einsum("ijcd,cdab->ijab", t_dense, v_dense)
+    ok = np.allclose(R.to_dense(), ref)
+    print(f"\nR: {R}\nmatches numpy.einsum: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

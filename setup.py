@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+installs (no ``wheel`` package available offline).  All metadata lives in
+``pyproject.toml``; ``pip install -e . --no-build-isolation`` or
+``python setup.py develop`` both work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — block-sparse distributed multi-GPU tensor contraction.
+
+A complete Python reproduction of Herault et al., *Distributed-memory
+multi-GPU block-sparse tensor contraction for electronic structure*
+(IPDPS 2021).  See README.md for the tour; the main entry points are:
+
+* :func:`repro.core.psgemm_numeric` / :func:`repro.core.psgemm_simulate`
+  — plan, execute and price ``C <- C + A @ B``;
+* :func:`repro.chem.build_abcd_problem` — the C65H132 CCSD ABCD instance;
+* :mod:`repro.experiments` — drivers for every paper table and figure;
+* ``python -m repro`` — the command-line interface.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import psgemm_numeric, psgemm_plan, psgemm_simulate  # noqa: F401
+from repro.machine import summit  # noqa: F401
+from repro.sparse import BlockSparseMatrix, SparseShape  # noqa: F401
+from repro.tensor import BlockSparseTensor, contract  # noqa: F401
+from repro.tiling import Tiling  # noqa: F401
+
+__all__ = [
+    "__version__",
+    "psgemm_numeric",
+    "psgemm_plan",
+    "psgemm_simulate",
+    "summit",
+    "BlockSparseMatrix",
+    "SparseShape",
+    "BlockSparseTensor",
+    "contract",
+    "Tiling",
+]

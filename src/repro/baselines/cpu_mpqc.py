@@ -1,0 +1,22 @@
+"""The CPU-only MPQC comparison (paper Section 5.2).
+
+"The computations utilizing {8, 16} nodes of Summit (total of 672 compute
+cores) completed in {308, 158} seconds" for the C65H132 ABCD term; the
+paper estimates ~17 % of a 2 Tflop/s per-node CPU peak and concludes the
+GPU implementation with tiling v3 "would reduce the time to solution by a
+factor of ~10".
+"""
+
+from __future__ import annotations
+
+from repro.machine.cpu import MPQC_CPU, CpuModel
+
+
+def mpqc_cpu_time(flops: float, nnodes: int, model: CpuModel | None = None) -> float:
+    """Seconds the CPU-only MPQC evaluation needs for ``flops`` on
+    ``nnodes`` Summit nodes."""
+    return (model or MPQC_CPU).time(flops, nnodes)
+
+
+#: The paper's measured CPU-only times (seconds) keyed by node count.
+PAPER_MEASURED = {8: 308.0, 16: 158.0}

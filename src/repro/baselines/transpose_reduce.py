@@ -1,0 +1,106 @@
+"""The rejected alternative of Section 3.1: 2-D stationary B with C reductions.
+
+Before settling on replicated-B grid rows, the paper considers keeping B
+stationary on a 2-D grid directly: "technically, this amounts to
+simulating the product B <- Aᵀ x C and to perform a final reduction of C
+tiles across grid columns.  To avoid these costly reductions, an
+alternative is to ... [replicate] each column of B" — which became the
+chosen design.
+
+Mechanically the rejected variant does the *same per-GPU work* as the
+chosen one on a ``pr x q`` grid (stream B blocks, chunk A, accumulate C),
+so it is priced as a **delta off the detailed model**, which keeps the
+comparison honest:
+
+* **minus** the B replication: the 2-D layout partitions B's k-range over
+  the ``pr`` grid rows instead of copying it, so on-demand generation
+  shrinks by ``pr``;
+* **plus** the C reduction: every C tile is now a *partial* sum per grid
+  row; the partials cross the network (``(pr-1)/pr`` of C per node ships
+  and arrives) and stream through host memory once more to be summed.
+
+For the ABCD term C (the R tensor) is comparable to or larger than A, so
+the added reduction outweighs the saved replication — the quantitative
+version of the paper's one-sentence rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytic import simulate
+from repro.core.inspector import inspect
+from repro.machine.kernels import GenerationModel
+from repro.machine.network import NetworkModel
+from repro.machine.spec import MachineSpec
+from repro.sparse.shape import SparseShape
+from repro.util.units import fmt_rate, fmt_time
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class TransposeReduceReport:
+    """Outcome of the rejected-variant model."""
+
+    makespan: float
+    flops: float
+    grid_rows: int
+    c_reduce_bytes: int
+    gen_saved_s: float
+    reduce_cost_s: float
+
+    @property
+    def perf(self) -> float:
+        return self.flops / self.makespan if self.makespan > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"time {fmt_time(self.makespan)}, {fmt_rate(self.perf)} "
+            f"(pr={self.grid_rows}, C reduced {self.c_reduce_bytes / 1e9:.1f} GB)"
+        )
+
+
+def transpose_reduce_simulate(
+    a_shape: SparseShape,
+    b_shape: SparseShape,
+    machine: MachineSpec,
+    grid_rows: int = 2,
+    overlap_rho: float = 0.25,
+) -> TransposeReduceReport:
+    """Price the rejected 2-D-stationary-B variant with ``grid_rows`` rows."""
+    require(a_shape.cols == b_shape.rows, "A and B inner tilings differ")
+    require(grid_rows >= 2, "the 2-D variant needs at least two grid rows")
+
+    plan = inspect(a_shape, b_shape, machine, p=grid_rows)
+    base = simulate(plan, machine, overlap_rho=overlap_rho)
+
+    # (-) B generation without replication: the chosen-p=pr run generates
+    # B once per grid row; the 2-D layout generates it once total.
+    gen = GenerationModel(machine.node)
+    b_total = sum(p.b_gen_bytes for p in plan.procs)
+    gen_full = gen.time(b_total / machine.nnodes)
+    gen_saved = gen_full * (1.0 - 1.0 / grid_rows)
+
+    # (+) C reduction across the pr grid rows: per node, its C partials
+    # ship out and reduced results arrive — (pr-1)/pr of the local C in
+    # each direction — plus one extra pass of C through the host link for
+    # the summation.
+    net = NetworkModel(bandwidth=machine.net_bandwidth, latency=machine.net_latency)
+    c_total = sum(p.c_bytes for p in plan.procs)
+    c_per_node = c_total / machine.nnodes
+    vol = c_per_node * (grid_rows - 1) / grid_rows
+    reduce_cost = net.exchange_time(vol, vol) + c_per_node / machine.node.host_link_aggregate
+
+    # Partial overlap of the deltas, like every other activity stream.
+    makespan = base.makespan - overlap_rho * gen_saved + (
+        overlap_rho * reduce_cost + (1 - overlap_rho) * 0.5 * reduce_cost
+    )
+    makespan = max(makespan, base.makespan * 0.5)
+    return TransposeReduceReport(
+        makespan=makespan,
+        flops=plan.total_flops,
+        grid_rows=grid_rows,
+        c_reduce_bytes=int(vol * 2 * machine.nnodes),
+        gen_saved_s=gen_saved,
+        reduce_cost_s=reduce_cost,
+    )

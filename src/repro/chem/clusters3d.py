@@ -1,0 +1,86 @@
+"""Compact (2-D/3-D) molecular geometries — the paper's denser regime.
+
+The conclusion of the paper predicts: "different molecules have the
+potential to provide much denser and compute-intensive input matrices,
+thereby (likely) enabling our algorithm to reach higher peak performance."
+Quasi-1D chains maximize sparsity; compact systems minimize it, because
+every orbital has many spatial neighbours.
+
+This module provides two such generators:
+
+* :func:`water_cluster` — ``(H2O)_n`` on a jittered cubic lattice, the
+  standard compact benchmark system of reduced-scaling chemistry papers;
+* :func:`alkane_sheet` — a 2-D raft of parallel alkane chains, the
+  intermediate regime.
+
+Both produce ordinary :class:`~repro.chem.molecule.Molecule` objects, so
+the whole pipeline (clustering, screening, planning) runs unchanged — the
+density difference is purely geometric, exactly as in the paper's
+argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.molecule import Atom, Molecule, alkane
+from repro.util.rng import resolve_rng
+from repro.util.validation import require
+
+# Water geometry (Angstrom / degrees).
+OH_BOND = 0.9572
+HOH_ANGLE = 104.52
+#: Typical O-O spacing in liquid water / ice lattices.
+WATER_SPACING = 2.9
+
+
+def water_cluster(
+    n_molecules: int,
+    spacing: float = WATER_SPACING,
+    jitter: float = 0.15,
+    seed=0,
+) -> Molecule:
+    """``(H2O)_n`` filling a near-cubic lattice (compact 3-D system).
+
+    Molecules sit on the smallest cubic grid holding ``n_molecules``
+    sites, with positional jitter and random orientations so clustering
+    is not artificially degenerate.
+    """
+    require(n_molecules >= 1, "need at least one molecule")
+    rng = resolve_rng(seed)
+    side = int(np.ceil(n_molecules ** (1.0 / 3.0)))
+    half = np.deg2rad(HOH_ANGLE / 2.0)
+
+    atoms: list[Atom] = []
+    count = 0
+    for ix in range(side):
+        for iy in range(side):
+            for iz in range(side):
+                if count >= n_molecules:
+                    break
+                o = spacing * np.array([ix, iy, iz]) + rng.normal(0, jitter, 3)
+                # Random orthonormal frame for the two O-H bonds.
+                q, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+                h1 = o + OH_BOND * (np.cos(half) * q[:, 0] + np.sin(half) * q[:, 1])
+                h2 = o + OH_BOND * (np.cos(half) * q[:, 0] - np.sin(half) * q[:, 1])
+                atoms.append(Atom("O", tuple(o)))
+                atoms.append(Atom("H", tuple(h1)))
+                atoms.append(Atom("H", tuple(h2)))
+                count += 1
+    return Molecule(tuple(atoms))
+
+
+def alkane_sheet(n_carbons: int, n_chains: int, chain_spacing: float = 4.5) -> Molecule:
+    """A 2-D raft of ``n_chains`` parallel C_n alkane chains.
+
+    The intermediate regime between the paper's quasi-1D chain and a
+    compact 3-D droplet: sparsity along the chain, density across it.
+    """
+    require(n_chains >= 1, "need at least one chain")
+    base = alkane(n_carbons)
+    atoms: list[Atom] = []
+    for c in range(n_chains):
+        dy = c * chain_spacing
+        for a in base.atoms:
+            atoms.append(Atom(a.symbol, (a.position[0], a.position[1] + dy, a.position[2])))
+    return Molecule(tuple(atoms))

@@ -1,0 +1,153 @@
+"""The other CCSD doubles terms — why ABCD dominates.
+
+Section 2 of the paper reduces CCSD to "a single representative term, and
+usually the most expensive one (accounting routinely for 90 % or more of
+the total work)".  This module backs that sentence with numbers: it
+builds screened cost models for the remaining contraction families of the
+doubles residual and compares their flop counts against the ABCD
+(particle-particle ladder) term on the same molecule/tiling/screening.
+
+The families, in matricized form (O = occupied rank, U = AO rank):
+
+* ``pp-ladder`` (the ABCD term):  ``R[ij,ab] += T[ij,cd] V[cd,ab]``
+  — inner dimension U², the dense scale is O²U⁴;
+* ``hh-ladder``:  ``R[ij,ab] += W[ij,kl] T[kl,ab]``
+  — inner dimension O², dense scale O⁴U²  (≈ (O/U)² of pp);
+* ``ring`` (particle-hole, several spin cases):
+  ``R'[ia,jb] += T'[ia,kc] W'[kc,jb]``
+  — mixed occupied-AO pairs, inner dimension OU, dense scale O³U³
+  (≈ O/U of pp per case).
+
+Shapes follow the same Kronecker screening physics as
+:mod:`repro.chem.screening`: a pair survives when its same-electron
+constituents are spatially close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import scipy.sparse as sp
+
+from repro.chem.abcd import AbcdProblem
+from repro.sparse.shape import SparseShape
+from repro.sparse.shape_algebra import gemm_flops, gemm_task_count
+from repro.tiling.product import fuse
+
+
+@dataclass(frozen=True)
+class TermCost:
+    """Cost of one doubles-term family on a given instance."""
+
+    name: str
+    description: str
+    flops: float
+    tasks: int
+    inner_extent: int
+
+
+def _kron_shape(
+    rows_pair,
+    cols_pair,
+    n_left: sp.spmatrix,
+    n_right: sp.spmatrix,
+    row_alive=None,
+    col_alive=None,
+) -> SparseShape:
+    """Shape of a pair-fused operand with mask ``n_left (x) n_right``.
+
+    ``row_alive``/``col_alive`` are optional per-fused-tile survival
+    vectors for *mixed* pairs whose two constituents must themselves be
+    close (e.g. an ``(i, a)`` pair only exists when AO ``a`` overlaps the
+    amplitude range of occupied ``i``) — a coupling internal to one side
+    that the Kronecker of the cross-side proximities cannot express.
+    """
+    mask = sp.kron(sp.csr_matrix(n_left), sp.csr_matrix(n_right), format="csr")
+    if row_alive is not None:
+        mask = sp.diags(row_alive.astype(float)) @ mask
+    if col_alive is not None:
+        mask = mask @ sp.diags(col_alive.astype(float))
+    mask = sp.csr_matrix(mask)
+    return SparseShape(rows_pair, cols_pair, mask)
+
+
+def doubles_term_costs(problem: AbcdProblem, ring_cases: int = 2) -> list[TermCost]:
+    """Screened flop/task costs of the doubles contraction families.
+
+    ``ring_cases`` counts the distinct spin/permutation instances of the
+    ring contraction that must be evaluated (2 in closed-shell spin-
+    adapted formulations).
+    """
+    t = problem.tilings
+    sm = problem.screening
+    occ_pair = t.occ_pair.fused.tiling
+    ao_pair = t.ao_pair.fused.tiling
+
+    out: list[TermCost] = []
+
+    # pp-ladder: the paper's ABCD term, shapes already built.
+    out.append(
+        TermCost(
+            name="pp-ladder (ABCD)",
+            description="T[ij,cd] V[cd,ab]",
+            flops=gemm_flops(problem.t_shape, problem.v_shape),
+            tasks=gemm_task_count(problem.t_shape, problem.v_shape),
+            inner_extent=problem.K,
+        )
+    )
+
+    # hh-ladder: W[ij,kl] T[kl,ab] — W couples i~k and j~l.
+    n_oo = sm.proximity(t.occ, t.occ, sm.v_cutoff)
+    w_shape = _kron_shape(occ_pair, occ_pair, n_oo, n_oo)
+    # T matricized over (kl) x (ab): same structure as the ABCD T.
+    t_occ_rows = problem.t_shape
+    out.append(
+        TermCost(
+            name="hh-ladder",
+            description="W[ij,kl] T[kl,ab]",
+            flops=gemm_flops(w_shape, t_occ_rows),
+            tasks=gemm_task_count(w_shape, t_occ_rows),
+            inner_extent=problem.O ** 2,
+        )
+    )
+
+    # ring: T'[ia,kc] W'[kc,jb] over mixed occupied-AO pairs.  The
+    # amplitude operand T' decays at the loose amplitude range
+    # (t_cutoff); the integral operand W' = <kc|jb> is overlap-screened
+    # on both sides at the short integral range (v_cutoff) — the same
+    # asymmetry that makes V so much sparser than T in Table 1.
+    mixed = fuse(t.occ.tiling, t.ao.tiling).tiling
+    n_oo_amp = sm.proximity(t.occ, t.occ, sm.t_cutoff)
+    n_aa_amp = sm.proximity(t.ao, t.ao, sm.t_cutoff)
+    n_oo_int = sm.proximity(t.occ, t.occ, sm.v_cutoff)
+    n_aa_int = sm.proximity(t.ao, t.ao, sm.v_cutoff)
+    # A mixed (occ, AO) pair is alive only when the AO lies within the
+    # occupied orbital's amplitude range — the N2 matrix flattened
+    # row-major matches the fused (occ, ao) tile ordering exactly.
+    alive = (sm.proximity(t.occ, t.ao, sm.t_cutoff).toarray() > 0).ravel()
+    t_ring = _kron_shape(
+        mixed, mixed, n_oo_amp, n_aa_amp, row_alive=alive, col_alive=alive
+    )
+    w_ring = _kron_shape(
+        mixed, mixed, n_oo_int, n_aa_int, row_alive=alive, col_alive=alive
+    )
+    ring_flops = gemm_flops(t_ring, w_ring)
+    ring_tasks = gemm_task_count(t_ring, w_ring)
+    for case in range(ring_cases):
+        out.append(
+            TermCost(
+                name=f"ring (case {case + 1})",
+                description="T'[ia,kc] W'[kc,jb]",
+                flops=ring_flops,
+                tasks=ring_tasks,
+                inner_extent=problem.O * problem.U,
+            )
+        )
+    return out
+
+
+def abcd_work_fraction(problem: AbcdProblem, ring_cases: int = 2) -> float:
+    """Fraction of the doubles-residual flops the ABCD term accounts for."""
+    costs = doubles_term_costs(problem, ring_cases=ring_cases)
+    total = sum(c.flops for c in costs)
+    return costs[0].flops / total if total else 0.0

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artifacts:
+
+* ``traits``     — Table 1 (C65H132 traits vs paper);
+* ``synthetic``  — Figs. 2/3/4 (synthetic sweep incl. libDBCSR);
+* ``scaling``    — Figs. 7/8/9 (C65H132 strong scaling);
+* ``mpqc``       — the Section 5.2 CPU comparison;
+* ``advise``     — the tiling advisor (the paper's future work);
+* ``selftest``   — numeric end-to-end check of the distributed plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_traits(args) -> int:
+    from repro.experiments.c65h132 import table1_text
+
+    print(table1_text(seed=args.seed))
+    return 0
+
+
+def _cmd_synthetic(args) -> int:
+    from repro.experiments.synthetic import fig2_sweep, fig2_table, fig3_table, fig4_table
+
+    points = fig2_sweep(
+        scale="paper" if args.paper_scale else "quick",
+        seed=args.seed,
+        with_dbcsr=not args.no_dbcsr,
+    )
+    print("Fig. 2 — performance (16 nodes / 96 GPUs)")
+    print(fig2_table(points))
+    print("\nFig. 3 — arithmetic intensity")
+    print(fig3_table(points))
+    print("\nFig. 4 — time to completion")
+    print(fig4_table(points))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.experiments.c65h132 import GPU_COUNTS, scaling_series
+    from repro.experiments.report import fmt_table
+
+    counts = tuple(args.gpus) if args.gpus else GPU_COUNTS
+    for v in args.variants:
+        series = scaling_series(v, gpu_counts=counts, seed=args.seed)
+        rows = [
+            [p.gpus, f"{p.time:8.1f}", f"{p.perf / 1e12:7.1f}",
+             f"{p.perf_per_gpu / 1e12:6.2f}", f"{p.efficiency:6.1%}"]
+            for p in series
+        ]
+        print(f"\nC65H132 strong scaling — tiling {v}")
+        print(fmt_table(["#GPUs", "time (s)", "Tflop/s", "Tf/GPU", "eff"], rows))
+    return 0
+
+
+def _cmd_mpqc(args) -> int:
+    from repro.experiments.mpqc_compare import mpqc_comparison_text
+
+    print(mpqc_comparison_text(variant=args.variant, seed=args.seed))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.chem import TilingVariant, build_abcd_problem
+    from repro.core.advisor import recommend_tiling
+    from repro.experiments.report import fmt_table
+    from repro.machine import summit
+
+    targets = [tuple(map(int, t.split("x"))) for t in args.targets]
+
+    def build(cand):
+        occ, ao = cand
+        prob = build_abcd_problem(
+            variant=TilingVariant(f"{occ}x{ao}", occ, ao), seed=args.seed
+        )
+        return prob.t_shape, prob.v_shape
+
+    rec = recommend_tiling(
+        build,
+        targets,
+        summit(args.nodes),
+        labels=[f"{o}x{a}" for o, a in targets],
+    )
+    print(fmt_table(["occ x ao", "Tflop", "#tasks", "time (s)", ""], rec.table_rows()))
+    print(f"\nrecommended: {rec.best.label} ({rec.best.time:.2f} s)")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    if args.deep:
+        from repro.core.crosscheck import random_crosscheck
+
+        report = random_crosscheck(seed=args.seed)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    import numpy as np
+
+    from repro.core import psgemm_numeric
+    from repro.machine import summit
+    from repro.sparse import random_block_sparse
+    from repro.tiling import random_tiling
+
+    rows = random_tiling(600, 40, 160, seed=args.seed)
+    inner = random_tiling(3000, 40, 160, seed=args.seed + 1)
+    a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
+    b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
+    c, stats = psgemm_numeric(a, b, summit(2), p=2, gpus_per_proc=3)
+    ok = np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+    print(f"distributed plan executed {stats.ntasks} GEMM tasks; "
+          f"matches dense reference: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    data = export_all(
+        args.output,
+        scale="paper" if args.paper_scale else "quick",
+        gpu_counts=args.gpus,
+        seed=args.seed,
+    )
+    print(f"wrote {args.output}: "
+          f"{len(data['fig2'])} fig2 points, "
+          f"{sum(len(v) for v in data['fig7'].values())} scaling points")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    ap.add_argument("--seed", type=int, default=0)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("traits", help="Table 1").set_defaults(func=_cmd_traits)
+
+    syn = sub.add_parser("synthetic", help="Figs. 2/3/4")
+    syn.add_argument("--paper-scale", action="store_true")
+    syn.add_argument("--no-dbcsr", action="store_true")
+    syn.set_defaults(func=_cmd_synthetic)
+
+    sc = sub.add_parser("scaling", help="Figs. 7/8/9")
+    sc.add_argument("--variants", nargs="+", default=["v1", "v2", "v3"],
+                    choices=["v1", "v2", "v3"])
+    sc.add_argument("--gpus", nargs="+", type=int)
+    sc.set_defaults(func=_cmd_scaling)
+
+    mp = sub.add_parser("mpqc", help="CPU comparison (Section 5.2)")
+    mp.add_argument("--variant", default="v3", choices=["v1", "v2", "v3"])
+    mp.set_defaults(func=_cmd_mpqc)
+
+    adv = sub.add_parser("advise", help="tiling advisor")
+    adv.add_argument("--targets", nargs="+",
+                     default=["8x65", "7x48", "6x32", "5x22"],
+                     help="occ x ao cluster targets, e.g. 6x32")
+    adv.add_argument("--nodes", type=int, default=4)
+    adv.set_defaults(func=_cmd_advise)
+
+    st = sub.add_parser("selftest", help="numeric end-to-end check")
+    st.add_argument("--deep", action="store_true",
+                    help="cross-validate all three executors (numeric, DES, analytic)")
+    st.set_defaults(func=_cmd_selftest)
+
+    ex = sub.add_parser("export", help="dump all experiment data as JSON")
+    ex.add_argument("-o", "--output", default="results.json")
+    ex.add_argument("--paper-scale", action="store_true")
+    ex.add_argument("--gpus", nargs="+", type=int)
+    ex.set_defaults(func=_cmd_export)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Tiling advisor — the paper's stated future work, made runnable.
+
+"Future work will aim at modeling the interactions between the tiling and
+the performance, in order to increase the efficiency of the algorithm."
+(Section 7.)  Section 5.2 shows why this is nontrivial: coarser tiles
+raise per-kernel efficiency but cover more zeros (more flops), and the
+optimum is data-dependent.
+
+:func:`recommend_tiling` searches candidate granularities with the coarse
+performance model — the exact trade-off study the paper performs manually
+over v1/v2/v3, automated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.analytic import SimReport, simulate
+from repro.core.inspector import inspect
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class TilingCandidate:
+    """One evaluated granularity."""
+
+    label: str
+    flops: float
+    tasks: int
+    report: SimReport
+
+    @property
+    def time(self) -> float:
+        return self.report.makespan
+
+
+@dataclass(frozen=True)
+class TilingRecommendation:
+    """Outcome of the advisor sweep."""
+
+    best: TilingCandidate
+    candidates: list[TilingCandidate]
+
+    def table_rows(self) -> list[list[str]]:
+        return [
+            [
+                c.label,
+                f"{c.flops / 1e12:9.0f}",
+                str(c.tasks),
+                f"{c.time:9.2f}",
+                "<== best" if c is self.best else "",
+            ]
+            for c in self.candidates
+        ]
+
+
+def recommend_tiling(
+    build_shapes: Callable[[object], tuple],
+    candidates: Sequence[object],
+    machine: MachineSpec,
+    labels: Sequence[str] | None = None,
+    p: int = 1,
+    use_d2d: bool = False,
+) -> TilingRecommendation:
+    """Evaluate candidate tilings and pick the fastest.
+
+    Parameters
+    ----------
+    build_shapes:
+        ``candidate -> (a_shape, b_shape)`` — typically a closure over
+        :func:`repro.chem.build_abcd_problem` with varying cluster targets,
+        but any generator of conforming shapes works.
+    candidates:
+        Opaque candidate descriptors passed to ``build_shapes``.
+    machine, p, use_d2d:
+        Pricing configuration.
+    labels:
+        Display labels (default ``str(candidate)``).
+    """
+    if not candidates:
+        raise ValueError("no tiling candidates supplied")
+    labels = list(labels) if labels is not None else [str(c) for c in candidates]
+    evaluated: list[TilingCandidate] = []
+    for cand, label in zip(candidates, labels):
+        a_shape, b_shape = build_shapes(cand)
+        plan = inspect(a_shape, b_shape, machine, p=p)
+        report = simulate(plan, machine, use_d2d=use_d2d)
+        evaluated.append(
+            TilingCandidate(
+                label=label,
+                flops=plan.total_flops,
+                tasks=plan.total_tasks,
+                report=report,
+            )
+        )
+    best = min(evaluated, key=lambda c: c.time)
+    return TilingRecommendation(best=best, candidates=evaluated)

@@ -1,0 +1,98 @@
+"""Communication-volume analysis (paper Section 3.2.4).
+
+The exact volumes are data-dependent and are filled into the plan by the
+inspector; this module exposes them as a report and provides the paper's
+closed-form *worst-case* (fully dense) bounds: on a ``p x q`` grid each A
+tile is needed on ``q - 1`` remote processes and the entire C may move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.sparse.shape import SparseShape
+from repro.util.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class CommReport:
+    """Per-process and aggregate internode communication volumes (bytes)."""
+
+    a_recv: np.ndarray
+    a_send: np.ndarray
+    c_send: np.ndarray
+    c_recv: np.ndarray
+    b_generated: np.ndarray
+
+    @property
+    def total_a(self) -> int:
+        """Total A bytes crossing the network (counted at the receiver)."""
+        return int(self.a_recv.sum())
+
+    @property
+    def total_c(self) -> int:
+        """Total C bytes crossing the network."""
+        return int(self.c_send.sum())
+
+    @property
+    def total_b_generated(self) -> int:
+        """Total B bytes generated on demand (includes replication)."""
+        return int(self.b_generated.sum())
+
+    def summary(self) -> str:
+        return (
+            f"A moved {fmt_bytes(self.total_a)}, C moved {fmt_bytes(self.total_c)}, "
+            f"B generated {fmt_bytes(self.total_b_generated)} "
+            f"(max/proc: A recv {fmt_bytes(self.a_recv.max(initial=0))}, "
+            f"A send {fmt_bytes(self.a_send.max(initial=0))})"
+        )
+
+
+def communication_volumes(plan: ExecutionPlan) -> CommReport:
+    """Collect the exact volumes the inspector computed into a report."""
+    procs = plan.procs
+    return CommReport(
+        a_recv=np.array([p.a_recv_bytes for p in procs], dtype=np.int64),
+        a_send=np.array([p.a_send_bytes for p in procs], dtype=np.int64),
+        c_send=np.array([p.c_send_bytes for p in procs], dtype=np.int64),
+        c_recv=np.array([p.c_recv_bytes for p in procs], dtype=np.int64),
+        b_generated=np.array([p.b_gen_bytes for p in procs], dtype=np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class WorstCaseVolumes:
+    """The dense upper bounds of Section 3.2.4 (bytes)."""
+
+    a_broadcast: int
+    c_move: int
+    b_replicated: int
+
+
+def worst_case_volumes(
+    a_shape: SparseShape, b_shape: SparseShape, p: int, q: int
+) -> WorstCaseVolumes:
+    """Fully dense bounds: A broadcast to ``q - 1`` peers per grid row,
+    the whole C moved once, B replicated ``p`` times."""
+    a_bytes = a_shape.rows.extent * a_shape.cols.extent * 8
+    c_bytes = a_shape.rows.extent * b_shape.cols.extent * 8
+    b_bytes = b_shape.rows.extent * b_shape.cols.extent * 8
+    return WorstCaseVolumes(
+        a_broadcast=int(a_bytes * (q - 1)),
+        c_move=int(c_bytes),
+        b_replicated=int(b_bytes * p),
+    )
+
+
+def exact_within_worst_case(plan: ExecutionPlan) -> bool:
+    """Sanity invariant: the exact volumes never exceed the dense bounds."""
+    report = communication_volumes(plan)
+    wc = worst_case_volumes(plan.a_shape, plan.b_shape, plan.grid.p, plan.grid.q)
+    return (
+        report.total_a <= wc.a_broadcast
+        and report.total_c <= wc.c_move
+        and report.total_b_generated <= wc.b_replicated
+    )

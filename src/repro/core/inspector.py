@@ -1,0 +1,462 @@
+"""The inspector: shapes -> :class:`~repro.core.plan.ExecutionPlan`.
+
+This is the inspection phase of Section 4: given the occupancy shapes of A
+and B and a machine, it runs the three planning stages of Section 3.2 —
+column assignment, block partitioning, chunk segmentation — for every
+process of the grid, and records every aggregate the executors need.
+Cost is ``O(N^t log N^t + nnz(B))`` per grid row, exactly the bound of
+Section 3.2.4, and fully vectorized.
+
+Norm screening (the "opt" variants of Table 1) is supported end-to-end:
+with ``options.screen_threshold = tau``, a tile product ``(i, k, j)`` is
+planned only when ``||A_ik|| * ||B_kj|| > tau``; A tiles, B tiles and C
+tiles with no surviving product are not loaded/generated/allocated at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.block_partition import partition_columns_into_blocks
+from repro.core.chunking import cyclic_tile_order, split_by_budget
+from repro.core.column_assignment import assign_columns
+from repro.core.grid import ProcessGrid, make_grid
+from repro.core.plan import Block, Chunk, ExecutionPlan, PlanOptions, ProcPlan
+from repro.machine.spec import MachineSpec
+from repro.sparse.shape import SparseShape
+from repro.sparse.shape_algebra import per_column_flops, product_shape, screened_product
+from repro.util.validation import require
+
+DTYPE_BYTES = 8  # double precision throughout, as in the paper
+
+
+def _take_columns(csc: sp.csc_matrix, cols: np.ndarray):
+    """Gather the nonzeros of the selected columns of a CSC matrix.
+
+    Returns ``(row_idx, col_pos, data)`` where ``col_pos`` indexes into
+    ``cols`` (not global column ids).  O(output) with no Python loop.
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    counts = np.diff(csc.indptr)[cols]
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    col_pos = np.repeat(np.arange(cols.size), counts)
+    seg_starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    within = np.arange(total) - np.repeat(seg_starts, counts)
+    src = csc.indptr[cols][col_pos] + within
+    return csc.indices[src].astype(np.int64), col_pos, csc.data[src]
+
+
+def inspect(
+    a_shape: SparseShape,
+    b_shape: SparseShape,
+    machine: MachineSpec,
+    p: int = 1,
+    gpus_per_proc: int | None = None,
+    options: PlanOptions | None = None,
+    grid: ProcessGrid | None = None,
+) -> ExecutionPlan:
+    """Plan ``C <- C + A @ B`` on ``machine`` with ``p`` grid rows.
+
+    Parameters
+    ----------
+    a_shape, b_shape:
+        Occupancy (optionally norm-carrying) shapes of the operands.
+    machine:
+        Target machine; its GPU memory drives block/chunk budgets, its
+        kernel model prices the chunks.
+    p:
+        Number of grid rows (the B-replication trade-off parameter).
+    gpus_per_proc:
+        GPUs each process drives (default: a whole node).
+    options:
+        Inspector knobs; see :class:`~repro.core.plan.PlanOptions`.
+    grid:
+        Pre-built grid (overrides ``p``/``gpus_per_proc``).
+    """
+    require(a_shape.cols == b_shape.rows, "A and B inner tilings differ")
+    options = options or PlanOptions()
+    if grid is None:
+        grid = make_grid(machine, p=p, gpus_per_proc=gpus_per_proc)
+    tau = options.screen_threshold
+
+    if tau is None:
+        c_shape = product_shape(a_shape, b_shape)
+    else:
+        c_shape = screened_product(a_shape, b_shape, tau).shape
+
+    mt = a_shape.ntile_rows
+    m_sizes = a_shape.rows.sizes.astype(np.int64)
+    k_sizes = a_shape.cols.sizes.astype(np.int64)
+    n_sizes = b_shape.cols.sizes.astype(np.int64)
+    nK = a_shape.cols.ntiles
+
+    b_csc = b_shape.csr.tocsc()
+    c_csr = c_shape.csr
+
+    gpu = machine.gpu
+    h = gpu.eff_half_dim
+    peak = gpu.gemm_peak
+    block_budget = int(gpu.memory_bytes * options.block_fraction)
+    chunk_budget = int(gpu.memory_bytes * options.chunk_fraction)
+
+    procs: list[ProcPlan] = []
+    for r in range(grid.p):
+        slice_rows = grid.slice_tile_rows(r, mt)
+        a_slice = a_shape.restrict_rows(slice_rows)
+        a_slice_csc = a_slice.csr.tocsc()
+        m_slice = m_sizes[slice_rows]
+
+        # Per-inner-tile max A norm in this slice (for screened B pruning).
+        if tau is not None:
+            a_csc_abs = a_slice_csc.copy()
+            max_a = np.zeros(nK)
+            kk_idx = np.repeat(
+                np.arange(nK), np.diff(a_csc_abs.indptr)
+            )
+            np.maximum.at(max_a, kk_idx, a_csc_abs.data)
+        else:
+            max_a = None
+
+        # ---- 3.2.1: column assignment on this slice ----------------------
+        col_flops = per_column_flops(a_slice, b_shape)
+        assignment = assign_columns(col_flops, grid.q, options.assignment_policy)
+
+        # Per-column footprints: B tiles (+ screened pruning) and local C.
+        b_col_bytes = _column_bytes_b(b_csc, k_sizes, n_sizes, max_a, tau)
+        c_slice = c_shape.restrict_rows(slice_rows)
+        c_col_bytes = _column_bytes_c(c_slice, n_sizes)
+
+        for l in range(grid.q):
+            cols_l = assignment.columns[l]
+            proc = _plan_process(
+                rank=grid.rank(r, l),
+                row=r,
+                col=l,
+                cols=cols_l,
+                slice_rows=slice_rows,
+                a_slice_csc=a_slice_csc,
+                b_csc=b_csc,
+                c_csr=c_csr,
+                m_slice=m_slice,
+                k_sizes=k_sizes,
+                n_sizes=n_sizes,
+                b_col_bytes=b_col_bytes,
+                c_col_bytes=c_col_bytes,
+                grid=grid,
+                gpu_memory=gpu.memory_bytes,
+                block_budget=block_budget,
+                chunk_budget=chunk_budget,
+                options=options,
+                h=h,
+                peak=peak,
+                max_a=max_a,
+            )
+            procs.append(proc)
+
+    plan = ExecutionPlan(
+        grid=grid,
+        options=options,
+        a_shape=a_shape,
+        b_shape=b_shape,
+        c_shape=c_shape,
+        procs=procs,
+        gpu_memory_bytes=gpu.memory_bytes,
+    )
+    _fill_comm_volumes(plan)
+    return plan
+
+
+def _column_bytes_b(b_csc, k_sizes, n_sizes, max_a, tau) -> np.ndarray:
+    """Per-column B footprint in bytes (screened tiles excluded)."""
+    ntc = b_csc.shape[1]
+    out = np.zeros(ntc, dtype=np.int64)
+    kk = b_csc.indices
+    col = np.repeat(np.arange(ntc), np.diff(b_csc.indptr))
+    keep = np.ones(kk.size, dtype=bool)
+    if tau is not None:
+        keep = b_csc.data * max_a[kk] > tau
+    sizes = k_sizes[kk[keep]] * n_sizes[col[keep]] * DTYPE_BYTES
+    np.add.at(out, col[keep], sizes)
+    return out
+
+
+def _column_bytes_c(c_slice: SparseShape, n_sizes) -> np.ndarray:
+    """Per-column local C footprint in bytes for one grid-row slice."""
+    pat = c_slice.pattern()
+    rows_per_col = pat.T @ c_slice.rows.sizes.astype(np.float64)
+    return (rows_per_col * n_sizes * DTYPE_BYTES).astype(np.int64)
+
+
+def _plan_process(
+    rank,
+    row,
+    col,
+    cols,
+    slice_rows,
+    a_slice_csc,
+    b_csc,
+    c_csr,
+    m_slice,
+    k_sizes,
+    n_sizes,
+    b_col_bytes,
+    c_col_bytes,
+    grid,
+    gpu_memory,
+    block_budget,
+    chunk_budget,
+    options,
+    h,
+    peak,
+    max_a,
+) -> ProcPlan:
+    """Build one process's blocks and chunks."""
+    tau = options.screen_threshold
+    nK = b_csc.shape[0]
+
+    # ---- 3.2.2: worst-fit block partition --------------------------------
+    col_bytes = b_col_bytes[cols] + c_col_bytes[cols]
+    col_blocks = partition_columns_into_blocks(
+        cols, col_bytes, gpu_memory, grid.gpus_per_proc, options.block_fraction
+    )
+
+    blocks: list[Block] = []
+    needed_keys: list[np.ndarray] = []
+    b_gen_tiles = 0
+    b_gen_bytes = 0
+    c_bytes_total = 0
+
+    # C occupancy of the slice, as CSC for fast per-column-set row queries.
+    c_slice_csc = c_csr[slice_rows].tocsc()
+
+    for cb in col_blocks:
+        bcols = np.asarray(cb.columns, dtype=np.int64)
+
+        # B tiles of the block (with screening applied).
+        kk, col_pos, bnorm = _take_columns(b_csc, bcols)
+        if tau is not None:
+            keep = bnorm * max_a[kk] > tau
+            kk, col_pos, bnorm = kk[keep], col_pos[keep], bnorm[keep]
+        b_tile_count = kk.size
+        b_bytes = int(np.sum(k_sizes[kk] * n_sizes[bcols[col_pos]]) * DTYPE_BYTES)
+
+        # Per-inner-tile aggregates over the block's columns.
+        cnt_k = np.zeros(nK, dtype=np.int64)
+        nsum_k = np.zeros(nK, dtype=np.int64)
+        np.add.at(cnt_k, kk, 1)
+        np.add.at(nsum_k, kk, n_sizes[bcols[col_pos]])
+        k_tiles = np.unique(kk)
+
+        # C tiles of the block (local slice rows x block columns).
+        crows, _, _ = _take_columns(c_slice_csc, bcols)
+        c_tile_count = crows.size
+        ccol_counts = np.diff(c_slice_csc.indptr)[bcols]
+        ccols_rep = np.repeat(bcols, ccol_counts)
+        c_bytes = int(np.sum(m_slice[crows] * n_sizes[ccols_rep]) * DTYPE_BYTES)
+        c_bytes_total += c_bytes
+
+        # Oversized singleton blocks (largest dense instances) shrink the
+        # chunk budget to half of whatever device memory remains.
+        resident = b_bytes + c_bytes
+        block_chunk_budget = chunk_budget
+        if resident > block_budget:
+            block_chunk_budget = max((gpu_memory - resident) // 2, 1)
+
+        # A tiles needed by the block: slice rows crossed with k_tiles.
+        ai_local, k_pos, anorm = _take_columns(a_slice_csc, k_tiles)
+        ak = k_tiles[k_pos]
+        if tau is not None and ai_local.size:
+            # Drop A tiles whose every product in this block is screened:
+            # max over block columns of ||B_kj|| per k.
+            max_b_k = np.zeros(nK)
+            np.maximum.at(max_b_k, kk, bnorm)
+            keep_a = anorm * max_b_k[ak] > tau
+            ai_local, ak, anorm = ai_local[keep_a], ak[keep_a], anorm[keep_a]
+        ai_global = slice_rows[ai_local]
+        a_tile_bytes = (m_slice[ai_local] * k_sizes[ak] * DTYPE_BYTES).astype(np.int64)
+
+        # Per-A-tile task aggregates.
+        if tau is None:
+            t_cnt = cnt_k[ak]
+            t_nsum = nsum_k[ak]
+        else:
+            t_cnt, t_nsum = _screened_tile_aggregates(
+                kk, bnorm, n_sizes[bcols[col_pos]], ak, anorm, tau, nK
+            )
+        t_flops = 2.0 * m_slice[ai_local] * k_sizes[ak] * t_nsum
+        t_dev = (
+            (2.0 / peak)
+            * (m_slice[ai_local] + h)
+            * (k_sizes[ak] + h)
+            * (t_nsum + h * t_cnt)
+        )
+
+        # ---- 3.2.3: chunk segmentation ------------------------------------
+        order = cyclic_tile_order(ai_global, ak)
+        chunks: list[Chunk] = []
+        if order.size:
+            rows_o = ai_global[order]
+            cols_o = ak[order]
+            bytes_o = a_tile_bytes[order]
+            flops_o = t_flops[order]
+            dev_o = t_dev[order]
+            cnt_o = t_cnt[order]
+            for seg in split_by_budget(bytes_o, block_chunk_budget):
+                chunks.append(
+                    Chunk(
+                        a_rows=rows_o[seg],
+                        a_cols=cols_o[seg],
+                        a_bytes=int(bytes_o[seg].sum()),
+                        ntasks=int(cnt_o[seg].sum()),
+                        flops=float(flops_o[seg].sum()),
+                        device_seconds=float(dev_o[seg].sum()),
+                    )
+                )
+
+        blocks.append(
+            Block(
+                gpu=cb.gpu,
+                columns=bcols,
+                b_bytes=b_bytes,
+                c_bytes=c_bytes,
+                b_tile_count=int(b_tile_count),
+                c_tile_count=int(c_tile_count),
+                k_tiles=k_tiles,
+                chunks=chunks,
+            )
+        )
+        b_gen_tiles += int(b_tile_count)
+        b_gen_bytes += b_bytes
+        if ai_global.size:
+            needed_keys.append(ai_global * nK + ak)
+
+    # Deduplicated A tiles this process touches.
+    if needed_keys:
+        uniq = np.unique(np.concatenate(needed_keys))
+        a_rows_u = uniq // nK
+        a_cols_u = uniq % nK
+        a_needed_bytes = int(
+            np.sum(
+                m_slice[np.searchsorted(slice_rows, a_rows_u)]
+                * k_sizes[a_cols_u]
+                * DTYPE_BYTES
+            )
+        )
+    else:
+        a_rows_u = np.empty(0, dtype=np.int64)
+        a_cols_u = np.empty(0, dtype=np.int64)
+        a_needed_bytes = 0
+
+    return ProcPlan(
+        rank=rank,
+        row=row,
+        col=col,
+        columns=np.sort(np.asarray(cols, dtype=np.int64)),
+        blocks=blocks,
+        a_slice_rows=slice_rows,
+        a_needed_rows=a_rows_u,
+        a_needed_cols=a_cols_u,
+        a_needed_bytes=a_needed_bytes,
+        b_gen_bytes=b_gen_bytes,
+        b_gen_tiles=b_gen_tiles,
+        c_bytes=c_bytes_total,
+    )
+
+
+def _screened_tile_aggregates(kk, bnorm, b_nwidths, ak, anorm, tau, nK):
+    """Per-A-tile surviving-task count and summed output widths.
+
+    For every A tile ``(i, k)`` with norm ``a``, the surviving block
+    columns are those with ``||B_kj|| > tau / a``.  Sorting each inner
+    tile's B norms once and binary-searching per A tile makes this
+    O((nnzB + nnzA) log) per block.
+    """
+    order = np.lexsort((bnorm, kk))
+    kk_s = kk[order]
+    bn_s = bnorm[order]
+    nw_s = b_nwidths[order].astype(np.float64)
+    # Segment boundaries per inner tile.
+    starts = np.zeros(nK + 1, dtype=np.int64)
+    np.add.at(starts, kk_s + 1, 1)
+    starts = np.cumsum(starts)
+    # Suffix sums of widths within each segment (descending-norm side).
+    csum = np.concatenate(([0.0], np.cumsum(nw_s)))
+
+    t_cnt = np.zeros(ak.size, dtype=np.int64)
+    t_nsum = np.zeros(ak.size, dtype=np.float64)
+    if ak.size == 0:
+        return t_cnt, t_nsum
+    thr = tau / np.maximum(anorm, 1e-300)
+    lo = starts[ak]
+    hi = starts[ak + 1]
+    # Position of first surviving norm within each (sorted asc) segment.
+    # Vectorized per-segment searchsorted via global positions.
+    pos = np.empty(ak.size, dtype=np.int64)
+    for idx in range(ak.size):  # segments are tiny (columns per k in block)
+        pos[idx] = lo[idx] + np.searchsorted(
+            bn_s[lo[idx] : hi[idx]], thr[idx], side="right"
+        )
+    t_cnt = hi - pos
+    t_nsum = csum[hi] - csum[pos]
+    return t_cnt, t_nsum
+
+
+def _fill_comm_volumes(plan: ExecutionPlan) -> None:
+    """Compute internode A/C traffic per process (Section 3.2.4)."""
+    grid = plan.grid
+    nK = plan.a_shape.ntile_cols
+    m = plan.a_shape.rows.sizes.astype(np.int64)
+    k = plan.a_shape.cols.sizes.astype(np.int64)
+    n = plan.b_shape.cols.sizes.astype(np.int64)
+
+    for r in range(grid.p):
+        row_procs = [pp for pp in plan.procs if pp.row == r]
+        # A: tiles needed but owned elsewhere in the grid row.
+        for pp in row_procs:
+            owner_col = pp.a_needed_cols % grid.q
+            bytes_each = m[pp.a_needed_rows] * k[pp.a_needed_cols] * DTYPE_BYTES
+            remote = owner_col != pp.col
+            pp.a_recv_bytes = int(bytes_each[remote].sum())
+        # Senders inject each owned tile into the broadcast *once* if any
+        # remote process needs it (PaRSEC disseminates along a pipelined
+        # tree, so forwarding is absorbed into the receivers' volumes).
+        send = np.zeros(grid.q, dtype=np.int64)
+        remote_keys: list[np.ndarray] = []
+        for pp in row_procs:
+            keys = pp.a_needed_rows * nK + pp.a_needed_cols
+            owner_col = pp.a_needed_cols % grid.q
+            remote_keys.append(keys[owner_col != pp.col])
+        if remote_keys:
+            uniq = np.unique(np.concatenate(remote_keys)) if any(
+                rk.size for rk in remote_keys
+            ) else np.empty(0, dtype=np.int64)
+            if uniq.size:
+                ui = uniq // nK
+                uk = uniq % nK
+                np.add.at(send, uk % grid.q, m[ui] * k[uk] * DTYPE_BYTES)
+        for pp in row_procs:
+            pp.a_send_bytes = int(send[pp.col])
+
+        # C: produced at (r, l); final home is 2D-cyclic at (j mod q).
+        recv_c = np.zeros(grid.q, dtype=np.int64)
+        for pp in row_procs:
+            c_sub = plan.c_shape.csr[pp.a_slice_rows][:, pp.columns].tocoo()
+            if c_sub.nnz == 0:
+                pp.c_send_bytes = 0
+                continue
+            gi = pp.a_slice_rows[c_sub.row]
+            gj = pp.columns[c_sub.col]
+            bytes_each = m[gi] * n[gj] * DTYPE_BYTES
+            home = gj % grid.q
+            moved = home != pp.col
+            pp.c_send_bytes = int(bytes_each[moved].sum())
+            np.add.at(recv_c, home[moved], bytes_each[moved])
+        for pp in row_procs:
+            pp.c_recv_bytes = int(recv_c[pp.col])

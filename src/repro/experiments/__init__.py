@@ -1,0 +1,33 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns structured data *and* can print the same rows/series
+the paper reports, with the paper's measured values alongside for direct
+comparison.  The benchmark suite under ``benchmarks/`` is a thin wrapper
+over these drivers; the examples use them interactively.
+"""
+
+from repro.experiments.report import fmt_table
+from repro.experiments.synthetic import (
+    SyntheticPoint,
+    fig2_sweep,
+    run_synthetic_point,
+)
+from repro.experiments.c65h132 import (
+    PAPER_TABLE1,
+    ScalingPoint,
+    scaling_series,
+    table1_rows,
+)
+from repro.experiments.mpqc_compare import mpqc_comparison_rows
+
+__all__ = [
+    "fmt_table",
+    "SyntheticPoint",
+    "run_synthetic_point",
+    "fig2_sweep",
+    "PAPER_TABLE1",
+    "ScalingPoint",
+    "scaling_series",
+    "table1_rows",
+    "mpqc_comparison_rows",
+]

@@ -1,0 +1,135 @@
+"""Ablation drivers for the design choices the paper calls out.
+
+A1  grid rows ``p`` (Section 3.1: B replication vs A broadcast volume);
+A2  column assignment policy (Section 3.2.1's mirrored-cyclic rule);
+A3  the 50/25/25 GPU memory split (Sections 3.2.2-3.2.3);
+A4  the control-flow DAG (Section 4: without it the scheduler thrashes
+    GPU memory — modelled as B/C blocks being re-streamed per chunk);
+A5  tiling granularity (Section 5.2's "dual aspect of tiling" and the
+    paper's stated future work: modelling tiling vs performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.analytic import simulate
+from repro.core.column_assignment import assign_columns
+from repro.core.inspector import inspect
+from repro.core.plan import PlanOptions
+from repro.core.psgemm import psgemm_simulate
+from repro.machine.links import LinkModel, effective_stream_bandwidth
+from repro.machine.spec import MachineSpec
+from repro.sparse.shape import SparseShape
+from repro.sparse.shape_algebra import per_column_flops
+
+
+def ablation_grid_rows(a_shape, b_shape, machine, candidates=(1, 2, 4, 8)):
+    """A1: simulated time and A-broadcast volume per grid-rows choice."""
+    rows = []
+    for p in candidates:
+        if p > machine.nnodes * 1 and p > a_shape.ntile_rows:
+            continue
+        try:
+            plan, rep = psgemm_simulate(a_shape, b_shape, machine, p=p)
+        except ValueError:
+            continue
+        a_moved = sum(pr.a_recv_bytes for pr in plan.procs)
+        b_repl = sum(pr.b_gen_bytes for pr in plan.procs)
+        rows.append(
+            [p, f"{rep.makespan:8.2f}", f"{rep.perf / 1e12:8.1f}",
+             f"{a_moved / 1e9:8.1f}", f"{b_repl / 1e9:8.1f}"]
+        )
+    return rows
+
+
+def ablation_column_assignment(a_shape, b_shape, q: int):
+    """A2: load imbalance (max/mean flops) of the three dealing policies."""
+    f = per_column_flops(a_shape, b_shape)
+    rows = []
+    for policy in ("mirrored", "cyclic", "lpt"):
+        asg = assign_columns(f, q, policy)
+        rows.append([policy, f"{asg.imbalance:8.4f}"])
+    return rows
+
+
+def ablation_memory_split(a_shape, b_shape, machine, splits=((0.25, 0.125), (0.5, 0.25), (0.75, 0.12))):
+    """A3: simulated time per (block_fraction, chunk_fraction) choice."""
+    rows = []
+    for bf, cf in splits:
+        opts = PlanOptions(block_fraction=bf, chunk_fraction=cf)
+        plan = inspect(a_shape, b_shape, machine, p=1, options=opts)
+        rep = simulate(plan, machine)
+        rows.append(
+            [f"{bf:.2f}/{cf:.3f}", plan.total_blocks, plan.total_chunks,
+             f"{rep.makespan:8.2f}", f"{rep.perf / 1e12:8.1f}"]
+        )
+    return rows
+
+
+def simulate_without_control_flow(plan, machine: MachineSpec) -> float:
+    """A4: makespan when the scheduler ignores the control DAG.
+
+    Without the blocking-block and chunk-prefetch control edges, a greedy
+    scheduler picks ready GEMMs that evict still-needed B/C tiles; the
+    effect the paper engineered away is that every chunk re-faults its
+    block's B tiles, and with the prefetch window gone nothing hides the
+    transfers: each chunk becomes re-stream-B, load-A, compute, serially.
+    """
+    grid = plan.grid
+    gpu = machine.gpu
+    node = machine.node
+    h2d_bw = effective_stream_bandwidth(
+        gpu.h2d_bandwidth,
+        node.host_link_aggregate / grid.procs_per_node,
+        max(1, grid.gpus_per_proc),
+    )
+    link = LinkModel(bandwidth=h2d_bw, latency=node.h2d_latency_s)
+    worst = 0.0
+    for proc in plan.procs:
+        for g in range(grid.gpus_per_proc):
+            t = 0.0
+            for blk in proc.gpu_blocks(g):
+                reload_t = link.time(blk.b_bytes, blk.b_tile_count)
+                for ch in blk.chunks:
+                    comp = ch.device_seconds + gpu.kernel_launch_s * ch.ntasks
+                    t += reload_t + link.time(ch.a_bytes, ch.ntiles) + comp
+                t += link.time(blk.c_bytes, blk.c_tile_count)
+            worst = max(worst, t)
+    return worst
+
+
+def ablation_control_flow(a_shape, b_shape, machine):
+    """A4 rows: with vs without the control DAG.
+
+    Compares the *GPU pipeline* time (the quantity the control edges
+    govern); node-level terms (generation, network, inspection) are
+    identical in both configurations.
+    """
+    plan, rep = psgemm_simulate(a_shape, b_shape, machine, p=1)
+    t_on = max(float(nt.gpu_busy.max()) for nt in rep.nodes)
+    t_off = simulate_without_control_flow(plan, machine)
+    return [
+        ["control DAG on", f"{t_on:8.2f}"],
+        ["control DAG off", f"{t_off:8.2f}"],
+        ["slowdown", f"{t_off / t_on:8.2f}x"],
+    ]
+
+
+def ablation_tiling(problem_builder, cluster_targets, machine, seed=0):
+    """A5: time/flops per tiling granularity (the paper's future work).
+
+    ``problem_builder(occ, ao, seed)`` must return an AbcdProblem-like
+    object with ``t_shape``/``v_shape``.
+    """
+    rows = []
+    for occ, ao in cluster_targets:
+        prob = problem_builder(occ, ao, seed)
+        plan, rep = psgemm_simulate(prob.t_shape, prob.v_shape, machine, p=1)
+        rows.append(
+            [f"{occ}x{ao}", f"{plan.total_flops / 1e12:8.0f}", plan.total_tasks,
+             f"{rep.makespan:8.2f}", f"{rep.perf / machine.total_gpus / 1e12:6.2f}"]
+        )
+    return rows

@@ -1,0 +1,172 @@
+"""C65H132 application drivers (paper Table 1, Figs. 5-9).
+
+All drivers share one cached problem build per (variant, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.chem.abcd import AbcdProblem, build_abcd_problem
+from repro.chem.traits import ProblemTraits, compute_traits
+from repro.core.psgemm import psgemm_simulate
+from repro.machine.spec import MachineSpec, summit
+
+#: Table 1 of the paper, verbatim, for side-by-side comparison.
+PAPER_TABLE1 = {
+    "M x N x K": "26576 x 2464900 x 2464900",
+    "#flop": {"v1": 877e12, "v2": 923e12, "v3": 1237e12},
+    "#flop (opt.)": {"v1": 850e12, "v2": 899e12, "v3": 1209e12},
+    "#GEMM tasks": {"v1": 1_899_971, "v2": 468_368, "v3": 67_818},
+    "#GEMM tasks (opt.)": {"v1": 1_843_309, "v2": 455_159, "v3": 66_315},
+    "Average #rows/block": {"v1": "700", "v2": "[500;2500]", "v3": "[1000;5000]"},
+    "Density of T": {"v1": 0.098, "v2": 0.102, "v3": 0.132},
+    "Density of V": {"v1": 0.024, "v2": 0.026, "v3": 0.031},
+    "Density of R (opt.)": {"v1": 0.149, "v2": 0.161, "v3": 0.217},
+}
+
+#: Fig. 7 anchor values (seconds) read off the paper.
+PAPER_FIG7_ANCHORS = {("v1", 3): 272.0, ("v1", 108): 34.9}
+#: Parallel efficiencies at 108 GPUs the paper quotes.
+PAPER_EFFICIENCY_108 = {"v1": 0.21, "v2": 0.365, "v3": 0.352}
+
+#: The GPU counts of Figs. 7-9.
+GPU_COUNTS = (3, 6, 12, 24, 48, 72, 96, 108)
+
+
+@lru_cache(maxsize=8)
+def problem(variant: str = "v1", seed: int = 0) -> AbcdProblem:
+    """The cached C65H132 ABCD instance for one tiling variant."""
+    return build_abcd_problem(variant=variant, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def traits(variant: str = "v1", seed: int = 0) -> ProblemTraits:
+    return compute_traits(problem(variant, seed))
+
+
+def machine_for_gpus(ngpus: int) -> MachineSpec:
+    """The Summit partition holding exactly ``ngpus`` V100s."""
+    if ngpus < 6:
+        return summit(1, gpus_per_node=ngpus)
+    if ngpus % 6:
+        raise ValueError(f"{ngpus} GPUs is not a whole number of Summit nodes")
+    return summit(ngpus // 6)
+
+
+def table1_rows(seed: int = 0) -> list[list[str]]:
+    """Table 1: measured (this reproduction) vs paper, per variant."""
+    trs = {v: traits(v, seed) for v in ("v1", "v2", "v3")}
+    rows: list[list[str]] = []
+    rows.append(
+        ["M x N x K (kept M)", *(f"{t.kept_pairs} x {t.N} x {t.K}" for t in trs.values()),
+         PAPER_TABLE1["M x N x K"]]
+    )
+    def add(label, fmt, paper_fmt=None):
+        paper = PAPER_TABLE1[label]
+        rows.append(
+            [label, *(fmt(trs[v]) for v in trs),
+             " / ".join((paper_fmt or (lambda x: str(x)))(paper[v]) for v in trs)]
+        )
+    add("#flop", lambda t: f"{t.flops / 1e12:.0f} Tflop", lambda x: f"{x / 1e12:.0f}")
+    add("#flop (opt.)", lambda t: f"{t.flops_opt / 1e12:.0f} Tflop", lambda x: f"{x / 1e12:.0f}")
+    add("#GEMM tasks", lambda t: f"{t.tasks}", lambda x: f"{x}")
+    add("#GEMM tasks (opt.)", lambda t: f"{t.tasks_opt}", lambda x: f"{x}")
+    add(
+        "Average #rows/block",
+        lambda t: f"{t.tile_dim_mean:.0f} [{t.tile_dim_min:.0f};{t.tile_dim_max:.0f}]",
+    )
+    add("Density of T", lambda t: f"{t.density_t:.1%}", lambda x: f"{x:.1%}")
+    add("Density of V", lambda t: f"{t.density_v:.1%}", lambda x: f"{x:.1%}")
+    add("Density of R (opt.)", lambda t: f"{t.density_r_opt:.1%}", lambda x: f"{x:.1%}")
+    return rows
+
+
+def table1_text(seed: int = 0) -> str:
+    from repro.experiments.report import fmt_table
+
+    return fmt_table(
+        ["trait", "v1 (ours)", "v2 (ours)", "v3 (ours)", "paper v1/v2/v3"],
+        table1_rows(seed),
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One GPU count of the strong-scaling study (Figs. 7, 8, 9)."""
+
+    variant: str
+    gpus: int
+    time: float
+    perf: float
+    perf_per_gpu: float
+    efficiency: float
+    ideal_time: float
+
+
+def scaling_series(
+    variant: str = "v1",
+    gpu_counts=GPU_COUNTS,
+    seed: int = 0,
+    p: int = 1,
+) -> list[ScalingPoint]:
+    """Strong scaling of one tiling variant over the paper's GPU counts."""
+    prob = problem(variant, seed)
+    points: list[ScalingPoint] = []
+    base_time = None
+    base_gpus = None
+    for g in gpu_counts:
+        mach = machine_for_gpus(g)
+        _, rep = psgemm_simulate(prob.t_shape, prob.v_shape, mach, p=p)
+        if base_time is None:
+            base_time, base_gpus = rep.makespan, g
+        ideal = base_time * base_gpus / g
+        points.append(
+            ScalingPoint(
+                variant=variant,
+                gpus=g,
+                time=rep.makespan,
+                perf=rep.perf,
+                perf_per_gpu=rep.perf / g,
+                efficiency=ideal / rep.makespan,
+                ideal_time=ideal,
+            )
+        )
+    return points
+
+
+def fig5_density_maps(variant: str = "v1", seed: int = 0, grid: int = 48):
+    """Coarse 2-D occupancy maps of matricized T, V and R (paper Fig. 5).
+
+    Returns ``{"T": map, "V": map, "R": map}``; each map is a
+    ``grid x grid``-ish array of per-region element fill, the quantity
+    Fig. 5 renders as black dots.
+    """
+    prob = problem(variant, seed)
+    out = {}
+    for name, shape in (("T", prob.t_shape), ("V", prob.v_shape), ("R", prob.r_shape)):
+        coo = shape.csr.tocoo()
+        sizes = shape.rows.sizes[coo.row] * shape.cols.sizes[coo.col]
+        ny = min(grid, shape.ntile_rows)
+        nx = min(grid, shape.ntile_cols)
+        acc = np.zeros((ny, nx))
+        ry = coo.row * ny // shape.ntile_rows
+        rx = coo.col * nx // shape.ntile_cols
+        np.add.at(acc, (ry, rx), sizes)
+        tot = np.zeros((ny, nx))
+        ti = np.arange(shape.ntile_rows) * ny // shape.ntile_rows
+        tj = np.arange(shape.ntile_cols) * nx // shape.ntile_cols
+        cell = np.outer(shape.rows.sizes, shape.cols.sizes)
+        np.add.at(tot, (ti[:, None].repeat(shape.ntile_cols, 1), tj[None, :].repeat(shape.ntile_rows, 0)), cell)
+        out[name] = np.divide(acc, tot, out=np.zeros_like(acc), where=tot > 0)
+    return out
+
+
+def fig6_tile_mb(variant: str = "v1", seed: int = 0) -> np.ndarray:
+    """Matricized tile sizes (MB) of the B tiling — the Fig. 6 sample."""
+    prob = problem(variant, seed)
+    t = prob.v_shape.rows
+    return (np.multiply.outer(t.sizes, prob.v_shape.cols.sizes) * 8 / 1e6).reshape(-1)

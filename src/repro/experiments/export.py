@@ -1,0 +1,118 @@
+"""Machine-readable export of experiment results.
+
+Every driver's output can be dumped as a single JSON artifact
+(``python -m repro export -o results.json``) so downstream users can plot
+the figures with their own tooling; the schema is flat and stable:
+
+```json
+{
+  "meta":   {"version": ..., "seed": ...},
+  "table1": {"v1": {"flops": ..., "tasks": ..., ...}, ...},
+  "fig2":   [{"nk": ..., "density": ..., "parsec_tflops": ..., ...}, ...],
+  "fig7":   {"v1": [{"gpus": 3, "time_s": ..., ...}, ...], ...},
+  "mpqc":   [{"nodes": 8, "cpu_s": ..., "gpu_s": ..., ...}, ...]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any
+
+
+def table1_data(seed: int = 0) -> dict[str, Any]:
+    from repro.experiments.c65h132 import traits
+
+    out = {}
+    for v in ("v1", "v2", "v3"):
+        t = traits(v, seed)
+        out[v] = {
+            "kept_pairs": t.kept_pairs,
+            "N": t.N,
+            "K": t.K,
+            "flops": t.flops,
+            "flops_opt": t.flops_opt,
+            "tasks": t.tasks,
+            "tasks_opt": t.tasks_opt,
+            "tile_dim_mean": t.tile_dim_mean,
+            "density_t": t.density_t,
+            "density_v": t.density_v,
+            "density_r": t.density_r,
+            "density_r_opt": t.density_r_opt,
+        }
+    return out
+
+
+def fig2_data(scale: str = "quick", seed: int = 0, with_dbcsr: bool = True) -> list[dict]:
+    from repro.experiments.synthetic import fig2_sweep
+
+    out = []
+    for p in fig2_sweep(scale=scale, seed=seed, with_dbcsr=with_dbcsr):
+        out.append(
+            {
+                "nk": p.nk,
+                "density": p.density,
+                "flops": p.flops,
+                "intensity": p.intensity,
+                "parsec_time_s": p.parsec_time,
+                "parsec_tflops": p.parsec_perf / 1e12,
+                "parsec_grid_rows": p.parsec_p,
+                "dbcsr_feasible": bool(p.dbcsr.feasible) if p.dbcsr else None,
+                "dbcsr_tflops": (p.dbcsr.perf / 1e12 if p.dbcsr and p.dbcsr.feasible else None),
+            }
+        )
+    return out
+
+
+def scaling_data(gpu_counts=None, seed: int = 0) -> dict[str, list[dict]]:
+    from repro.experiments.c65h132 import GPU_COUNTS, scaling_series
+
+    counts = tuple(gpu_counts) if gpu_counts else GPU_COUNTS
+    out = {}
+    for v in ("v1", "v2", "v3"):
+        out[v] = [asdict(p) for p in scaling_series(v, gpu_counts=counts, seed=seed)]
+    return out
+
+
+def mpqc_data(seed: int = 0) -> list[dict]:
+    from repro.experiments.mpqc_compare import mpqc_comparison_rows
+
+    rows = mpqc_comparison_rows(seed=seed)
+    return [
+        {
+            "nodes": int(r[0]),
+            "cpu_model_s": float(r[1]),
+            "cpu_paper_s": float(r[2]),
+            "gpu_s": float(r[3]),
+            "speedup": float(r[4].rstrip("x")),
+        }
+        for r in rows
+    ]
+
+
+def export_all(
+    path: str,
+    scale: str = "quick",
+    gpu_counts=None,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Produce the full artifact and write it to ``path``; returns it."""
+    import repro
+
+    data = {
+        "meta": {
+            "version": repro.__version__,
+            "seed": seed,
+            "scale": scale,
+            "paper": "Herault et al., IPDPS 2021 (hal-02970659)",
+        },
+        "table1": table1_data(seed),
+        "fig2": fig2_data(scale=scale, seed=seed),
+        "fig7": scaling_data(gpu_counts=gpu_counts, seed=seed),
+        "mpqc": mpqc_data(seed=seed),
+    }
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+    return data

@@ -1,0 +1,99 @@
+"""ASCII line charts — terminal renderings of the paper's figures.
+
+No plotting stack is available offline, so the figure benchmarks render
+their series as ASCII charts: log-x scatter/lines with one glyph per
+series, axis labels and a legend — enough to eyeball the crossovers and
+trends the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``{"label": [(x, y), ...], ...}`` — up to ~8 series, each drawn
+        with its own glyph.
+    logx, logy:
+        Logarithmic axes (values must be positive).
+    """
+    glyphs = "ox+*#@%&"
+    pts_all = [(x, y) for pts in series.values() for x, y in pts]
+    if not pts_all:
+        return "(no data)"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs = [tx(x) for x, _ in pts_all]
+    ys = [ty(y) for _, y in pts_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (label, pts), g in zip(series.items(), glyphs):
+        for x, y in pts:
+            cx = int((tx(x) - x_lo) / x_span * (width - 1))
+            cy = int((ty(y) - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - cy][cx] = g
+
+    lines = []
+    y_hi_label = f"{10**y_hi if logy else y_hi:.3g}"
+    y_lo_label = f"{10**y_lo if logy else y_lo:.3g}"
+    gutter = max(len(y_hi_label), len(y_lo_label)) + 1
+    for r, row in enumerate(canvas):
+        prefix = ""
+        if r == 0:
+            prefix = y_hi_label
+        elif r == height - 1:
+            prefix = y_lo_label
+        lines.append(prefix.rjust(gutter) + " |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_lo_label = f"{10**x_lo if logx else x_lo:.3g}"
+    x_hi_label = f"{10**x_hi if logx else x_hi:.3g}"
+    axis = x_lo_label + xlabel.center(width - len(x_lo_label) - len(x_hi_label)) + x_hi_label
+    lines.append(" " * gutter + "  " + axis)
+    legend = "   ".join(f"{g}={label}" for (label, _), g in zip(series.items(), glyphs))
+    lines.append(" " * gutter + "  " + legend + (f"   [{ylabel}]" if ylabel else ""))
+    return "\n".join(lines)
+
+
+def scaling_chart(data: dict[str, Sequence], metric: str = "time") -> str:
+    """Chart Fig. 7/8/9 series from ``scaling_series`` results.
+
+    ``metric`` is ``"time"`` (Fig. 7), ``"perf_per_gpu"`` (Fig. 8) or
+    ``"perf"`` (Fig. 9).
+    """
+    series = {}
+    for v, pts in data.items():
+        series[v] = [(p.gpus, getattr(p, metric)) for p in pts]
+    if metric == "time":
+        first = next(iter(data.values()))
+        series["ideal"] = [(p.gpus, p.ideal_time) for p in first]
+    labels = {"time": "seconds", "perf_per_gpu": "flop/s per GPU", "perf": "flop/s"}
+    return ascii_chart(
+        series,
+        logx=True,
+        logy=(metric == "time"),
+        xlabel="#GPUs",
+        ylabel=labels.get(metric, metric),
+    )

@@ -1,0 +1,43 @@
+"""The CPU-vs-GPU comparison of Section 5.2.
+
+Paper: CPU-only MPQC evaluates the C65H132 ABCD term in {308, 158} s on
+{8, 16} nodes; the GPU implementation with tiling v3 on the same nodes'
+GPUs "would reduce the time to solution by a factor of ~10".
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_mpqc import PAPER_MEASURED, mpqc_cpu_time
+from repro.core.psgemm import psgemm_simulate
+from repro.experiments.c65h132 import problem, traits
+from repro.machine.spec import summit
+
+
+def mpqc_comparison_rows(node_counts=(8, 16), variant: str = "v3", seed: int = 0):
+    """Rows: nodes, CPU model time, paper-measured CPU time, GPU time,
+    speedup (CPU model / GPU)."""
+    prob = problem(variant, seed)
+    flops = traits(variant, seed).flops
+    rows = []
+    for n in node_counts:
+        cpu_t = mpqc_cpu_time(flops, n)
+        _, rep = psgemm_simulate(prob.t_shape, prob.v_shape, summit(n), p=1)
+        rows.append(
+            [
+                n,
+                f"{cpu_t:7.1f}",
+                f"{PAPER_MEASURED.get(n, float('nan')):7.1f}",
+                f"{rep.makespan:7.1f}",
+                f"{cpu_t / rep.makespan:5.1f}x",
+            ]
+        )
+    return rows
+
+
+def mpqc_comparison_text(node_counts=(8, 16), variant: str = "v3", seed: int = 0) -> str:
+    from repro.experiments.report import fmt_table
+
+    return fmt_table(
+        ["nodes", "CPU model (s)", "CPU paper (s)", f"GPU {variant} (s)", "speedup"],
+        mpqc_comparison_rows(node_counts, variant, seed),
+    )

@@ -1,0 +1,150 @@
+"""Synthetic benchmark drivers (paper Figs. 2, 3, 4).
+
+The paper's setup (Section 5.1): 16 Summit nodes, ``M = 48k`` fixed,
+``N = K`` swept upward from the square dense case, densities
+{1, 0.75, 0.5, 0.25, 0.1}, tile sizes uniform in [512, 2048], both input
+matrices at the target density.  The PaRSEC implementation ran 32
+processes of 3 GPUs; libDBCSR ran 96 single-GPU processes with the best
+process grid per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dbcsr import DbcsrReport, dbcsr_simulate
+from repro.core.autotune import tune_grid_rows
+from repro.machine.spec import MachineSpec, summit
+from repro.sparse.random_sparsity import random_shape_with_density
+from repro.sparse.shape_algebra import arithmetic_intensity, gemm_flops
+from repro.tiling.random import random_tiling
+from repro.util.rng import resolve_rng
+
+#: The paper's density sweep.
+DENSITIES = (1.0, 0.75, 0.5, 0.25, 0.1)
+
+#: N = K sweep points: "paper" spans Fig. 2's x-axis; "quick" is the
+#: reduced grid the default benchmarks run.
+NK_VALUES = {
+    "paper": (48_000, 96_000, 192_000, 384_000, 480_000, 600_000, 750_000),
+    "quick": (48_000, 192_000, 480_000),
+}
+
+#: Anchor values read off the paper's Fig. 2 (flop/s) for EXPERIMENTS.md.
+PAPER_FIG2_ANCHORS = {
+    ("parsec", 48_000, 1.0): 203e12,
+    ("dbcsr", 48_000, 1.0): 109e12,
+}
+
+
+@dataclass(frozen=True)
+class SyntheticPoint:
+    """One (N=K, density) point of the synthetic sweep."""
+
+    nk: int
+    density: float
+    m: int
+    flops: float
+    intensity: float
+    parsec_time: float
+    parsec_perf: float
+    parsec_p: int
+    dbcsr: DbcsrReport | None
+
+    def fig2_row(self) -> list[object]:
+        db = (
+            "OOM"
+            if self.dbcsr is not None and not self.dbcsr.feasible
+            else (f"{self.dbcsr.perf / 1e12:8.1f}" if self.dbcsr else "-")
+        )
+        return [
+            self.nk,
+            f"{self.density:4.2f}",
+            f"{self.parsec_perf / 1e12:8.1f}",
+            db,
+        ]
+
+
+def run_synthetic_point(
+    nk: int,
+    density: float,
+    m: int = 48_000,
+    machine: MachineSpec | None = None,
+    seed=0,
+    gpus_per_proc: int = 3,
+    p_candidates: tuple[int, ...] = (1, 2, 4),
+    with_dbcsr: bool = True,
+) -> SyntheticPoint:
+    """Generate and price one synthetic instance on both implementations."""
+    machine = machine or summit(16)
+    rng = resolve_rng(seed)
+    rows = random_tiling(m, 512, 2048, seed=rng)
+    inner = random_tiling(nk, 512, 2048, seed=rng)
+    a = random_shape_with_density(rows, inner, density, seed=rng)
+    b = random_shape_with_density(inner, inner, density, seed=rng)
+
+    tuned = tune_grid_rows(
+        a, b, machine, candidates=list(p_candidates), gpus_per_proc=gpus_per_proc
+    )
+    rep = tuned.best_report
+    db = dbcsr_simulate(a, b, machine) if with_dbcsr else None
+    return SyntheticPoint(
+        nk=nk,
+        density=density,
+        m=m,
+        flops=gemm_flops(a, b),
+        intensity=arithmetic_intensity(a, b),
+        parsec_time=rep.makespan,
+        parsec_perf=rep.perf,
+        parsec_p=tuned.best_p,
+        dbcsr=db,
+    )
+
+
+def fig2_sweep(
+    scale: str = "quick",
+    densities=DENSITIES,
+    machine: MachineSpec | None = None,
+    seed=0,
+    with_dbcsr: bool = True,
+) -> list[SyntheticPoint]:
+    """The full (N=K) x density sweep behind Figs. 2, 3 and 4."""
+    points = []
+    for nk in NK_VALUES[scale]:
+        for d in densities:
+            points.append(
+                run_synthetic_point(
+                    nk, d, machine=machine, seed=seed, with_dbcsr=with_dbcsr
+                )
+            )
+    return points
+
+
+def fig2_table(points: list[SyntheticPoint]) -> str:
+    """Fig. 2 as a table: Tflop/s of both implementations per point."""
+    from repro.experiments.report import fmt_table
+
+    return fmt_table(
+        ["N=K", "density", "PaRSEC Tflop/s", "libDBCSR Tflop/s"],
+        [p.fig2_row() for p in points],
+    )
+
+
+def fig3_table(points: list[SyntheticPoint]) -> str:
+    """Fig. 3: theoretical arithmetic intensity per point."""
+    from repro.experiments.report import fmt_table
+
+    return fmt_table(
+        ["N=K", "density", "intensity (flop/byte)"],
+        [[p.nk, f"{p.density:4.2f}", f"{p.intensity:10.1f}"] for p in points],
+    )
+
+
+def fig4_table(points: list[SyntheticPoint]) -> str:
+    """Fig. 4: time to completion per point."""
+    from repro.experiments.report import fmt_table
+
+    return fmt_table(
+        ["N=K", "density", "time (s)"],
+        [[p.nk, f"{p.density:4.2f}", f"{p.parsec_time:9.2f}"] for p in points],
+    )

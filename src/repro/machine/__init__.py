@@ -1,0 +1,57 @@
+"""Hardware models: Summit nodes, V100 GEMM kernels, links, network, CPUs.
+
+The paper's numbers come from Summit (IBM AC922: 2 POWER9 + 6 V100 per
+node, dual NVLink 2.0 bricks at 25 GB/s each direction, dual-rail EDR
+InfiniBand).  Because this reproduction runs without GPUs or MPI, every
+hardware component is replaced by a calibrated analytic model:
+
+* :class:`~repro.machine.kernels.GemmKernelModel` — time of a single
+  ``m x n x k`` GEMM on one V100, with a separable efficiency curve
+  ``eff = prod_d d/(d + h)`` anchored to the paper's measured 7.2 Tflop/s
+  practical peak (the separable form lets the coarse performance model
+  aggregate millions of tasks with sparse linear algebra, see
+  :mod:`repro.core.analytic`);
+* :class:`~repro.machine.links.LinkModel` — host<->device and
+  device<->device transfers with per-stream and aggregate caps;
+* :class:`~repro.machine.network.NetworkModel` — alpha-beta internode
+  model with pipelined-broadcast and injection-bound exchange estimates;
+* :class:`~repro.machine.cpu.CpuModel` — the CPU-only MPQC yardstick.
+
+All constants live in :mod:`repro.machine.spec` dataclasses so ablation
+benchmarks can vary them.
+"""
+
+from repro.machine.spec import (
+    FRONTIER_GPU,
+    FRONTIER_NODE,
+    SUMMIT_GPU,
+    SUMMIT_NODE,
+    GpuSpec,
+    MachineSpec,
+    NodeSpec,
+    frontier,
+    summit,
+)
+from repro.machine.kernels import GemmKernelModel, GenerationModel
+from repro.machine.links import LinkModel, effective_stream_bandwidth
+from repro.machine.network import NetworkModel
+from repro.machine.cpu import CpuModel, MPQC_CPU
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "SUMMIT_GPU",
+    "SUMMIT_NODE",
+    "summit",
+    "FRONTIER_GPU",
+    "FRONTIER_NODE",
+    "frontier",
+    "GemmKernelModel",
+    "GenerationModel",
+    "LinkModel",
+    "effective_stream_bandwidth",
+    "NetworkModel",
+    "CpuModel",
+    "MPQC_CPU",
+]

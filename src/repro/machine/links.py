@@ -1,0 +1,44 @@
+"""Intra-node transfer links (host<->device, device<->device)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """An alpha-beta link: ``time = latency * nmessages + bytes / bandwidth``.
+
+    ``latency`` covers per-transfer setup (cudaMemcpy enqueue, pinning);
+    tile-granular transfers pay it per tile, which is why the paper fights
+    to keep tiles from being re-transferred.
+    """
+
+    bandwidth: float
+    latency: float = 4.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive(self.bandwidth, "bandwidth")
+
+    def time(self, nbytes: float, nmessages: int = 1) -> float:
+        """Transfer time of ``nbytes`` split over ``nmessages`` messages."""
+        if nbytes <= 0 and nmessages <= 0:
+            return 0.0
+        return self.latency * max(1, int(nmessages)) + float(nbytes) / self.bandwidth
+
+
+def effective_stream_bandwidth(
+    per_stream: float, aggregate: float, nstreams: int
+) -> float:
+    """Per-stream bandwidth when ``nstreams`` share an aggregate cap.
+
+    Each GPU's NVLink bricks give it ``per_stream`` to the host, but all
+    GPUs together cannot exceed the host-side aggregate (memory bandwidth
+    shared with tile generation).  With 6 V100s at 45 GB/s against an
+    80 GB/s aggregate, concurrent streaming runs at ~13 GB/s per GPU —
+    the contention behind the paper's "GPU I/O dominates" observation.
+    """
+    require_positive(nstreams, "nstreams")
+    return min(per_stream, aggregate / nstreams)

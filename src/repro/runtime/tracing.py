@@ -1,0 +1,91 @@
+"""Execution traces from the discrete-event engine."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.units import fmt_time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed task: name, resource, and its time interval."""
+
+    task: str
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An ordered record of executed tasks with utilization queries."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, task: str, resource: str, start: float, end: float) -> None:
+        self.events.append(TraceEvent(task, resource, start, end))
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        """Total busy seconds of a resource (capacity-1 resources only)."""
+        return sum(e.duration for e in self.events if e.resource == resource)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction per resource over the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return {}
+        busy: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            busy[e.resource] += e.duration
+        return {r: b / span for r, b in sorted(busy.items())}
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome ``chrome://tracing`` / Perfetto event list.
+
+        Each task becomes a complete ("X") event with its resource as the
+        thread; dump with ``json.dump({"traceEvents": trace.to_chrome_trace()}, f)``
+        and load in any trace viewer.
+        """
+        tids = {r: i for i, r in enumerate(sorted({e.resource for e in self.events}))}
+        out = []
+        for e in self.events:
+            out.append(
+                {
+                    "name": e.task,
+                    "cat": e.task.split(".")[0],
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": 0,
+                    "tid": tids[e.resource],
+                    "args": {"resource": e.resource},
+                }
+            )
+        return out
+
+    def gantt(self, width: int = 60) -> str:
+        """A coarse text Gantt chart (one line per resource)."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty trace)"
+        rows: dict[str, list[str]] = {}
+        for e in self.events:
+            row = rows.setdefault(e.resource, [" "] * width)
+            lo = int(e.start / span * (width - 1))
+            hi = max(lo + 1, int(e.end / span * (width - 1)) + 1)
+            for x in range(lo, min(hi, width)):
+                row[x] = "#"
+        lines = [f"makespan {fmt_time(span)}"]
+        for r in sorted(rows):
+            lines.append(f"{r:>16s} |{''.join(rows[r])}|")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Save/load block-sparse matrices and shapes as ``.npz`` archives.
+
+Archives are self-describing: tilings, tile coordinates, and a flat data
+buffer with per-tile offsets.  Useful for caching the generated chemistry
+problems between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.shape import SparseShape
+from repro.tiling.tiling import Tiling
+
+
+def save_matrix(path: str, mat: BlockSparseMatrix) -> None:
+    """Serialize ``mat`` to ``path`` (a ``.npz`` file)."""
+    keys = sorted(mat.keys())
+    ii = np.array([k[0] for k in keys], dtype=np.int64)
+    jj = np.array([k[1] for k in keys], dtype=np.int64)
+    sizes = np.array(
+        [mat.get_tile(i, j).size for i, j in keys], dtype=np.int64
+    )
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    buf = np.empty(int(offsets[-1]), dtype=np.float64)
+    for t, (i, j) in enumerate(keys):
+        buf[offsets[t] : offsets[t + 1]] = mat.get_tile(i, j).ravel()
+    np.savez_compressed(
+        path,
+        row_offsets=mat.rows.offsets,
+        col_offsets=mat.cols.offsets,
+        tile_i=ii,
+        tile_j=jj,
+        data_offsets=offsets,
+        data=buf,
+    )
+
+
+def load_matrix(path: str) -> BlockSparseMatrix:
+    """Load a matrix previously written by :func:`save_matrix`."""
+    with np.load(path) as z:
+        rows = Tiling(z["row_offsets"])
+        cols = Tiling(z["col_offsets"])
+        ii = z["tile_i"]
+        jj = z["tile_j"]
+        offsets = z["data_offsets"]
+        buf = z["data"]
+        mat = BlockSparseMatrix(rows, cols)
+        for t in range(len(ii)):
+            i, j = int(ii[t]), int(jj[t])
+            shape = (rows.tile_size(i), cols.tile_size(j))
+            mat.set_tile(i, j, buf[offsets[t] : offsets[t + 1]].reshape(shape))
+    return mat
+
+
+def save_shape(path: str, shape: SparseShape) -> None:
+    """Serialize a shape (occupancy + norms) to ``path``."""
+    coo = shape.csr.tocoo()
+    np.savez_compressed(
+        path,
+        row_offsets=shape.rows.offsets,
+        col_offsets=shape.cols.offsets,
+        tile_i=coo.row.astype(np.int64),
+        tile_j=coo.col.astype(np.int64),
+        norms=coo.data,
+    )
+
+
+def load_shape(path: str) -> SparseShape:
+    """Load a shape previously written by :func:`save_shape`."""
+    with np.load(path) as z:
+        rows = Tiling(z["row_offsets"])
+        cols = Tiling(z["col_offsets"])
+        return SparseShape.from_coo(rows, cols, z["tile_i"], z["tile_j"], z["norms"])

@@ -1,0 +1,195 @@
+"""Hierarchical (quad-tree) block-sparse representation and Z-order layout.
+
+The paper's related work (Section 6.2) discusses Chunks-and-Tasks
+[Rubensson & Rudberg 2016] and the hierarchic sparse matrix format
+[Rubensson et al. 2007]: "the key advantage of using quad-trees is to
+preserve data locality while reducing communications".  This module
+implements both ingredients at tile granularity so the claim can be
+quantified against the paper's flat 2D-cyclic layout:
+
+* :class:`QuadTree` — a recursive quadrant decomposition of the tile
+  grid, with empty quadrants pruned (the memory-overhead reduction the
+  related work targets);
+* :func:`morton_order` / :func:`zorder_owners` — the space-filling-curve
+  tile->process assignment hierarchical formats induce;
+* :func:`distribution_traffic` — A-broadcast volume of the paper's
+  algorithm under an arbitrary initial owner map, so Z-order and
+  2D-cyclic initial placements can be compared on equal terms
+  (``bench_related_zorder.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.sparse.shape import SparseShape
+from repro.util.validation import require
+
+
+@dataclass
+class QuadNode:
+    """One node of the quad-tree: a rectangle of the tile grid.
+
+    Leaves carry the indices (into the shape's nonzero list) of the tiles
+    they contain; internal nodes carry up to four children.
+    """
+
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+    children: list["QuadNode"] = field(default_factory=list)
+    tile_idx: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.tile_idx is not None
+
+    @property
+    def nnz(self) -> int:
+        if self.is_leaf:
+            return int(self.tile_idx.size)
+        return sum(c.nnz for c in self.children)
+
+
+class QuadTree:
+    """Quad-tree over a :class:`SparseShape`'s tile grid.
+
+    Parameters
+    ----------
+    shape:
+        The block-sparse occupancy to index.
+    leaf_tiles:
+        Stop subdividing when a quadrant spans at most this many tile
+        rows *and* columns.
+    """
+
+    def __init__(self, shape: SparseShape, leaf_tiles: int = 8):
+        require(leaf_tiles >= 1, "leaf_tiles must be >= 1")
+        self.shape = shape
+        self.leaf_tiles = leaf_tiles
+        ii, jj = shape.nonzero_tiles()
+        self._ii = ii
+        self._jj = jj
+        self.root = self._build(
+            0, shape.ntile_rows, 0, shape.ntile_cols, np.arange(ii.size)
+        )
+
+    def _build(self, rlo, rhi, clo, chi, idx) -> QuadNode:
+        node = QuadNode(rlo, rhi, clo, chi)
+        span = max(rhi - rlo, chi - clo)
+        if span <= self.leaf_tiles or idx.size == 0:
+            node.tile_idx = idx
+            return node
+        rmid = (rlo + rhi + 1) // 2
+        cmid = (clo + chi + 1) // 2
+        ii, jj = self._ii[idx], self._jj[idx]
+        for rl, rh in ((rlo, rmid), (rmid, rhi)):
+            for cl, ch in ((clo, cmid), (cmid, chi)):
+                if rh <= rl or ch <= cl:
+                    continue
+                sub = idx[(ii >= rl) & (ii < rh) & (jj >= cl) & (jj < ch)]
+                if sub.size:
+                    node.children.append(self._build(rl, rh, cl, ch, sub))
+        if not node.children:  # all quadrants empty
+            node.tile_idx = idx
+        return node
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def nnz_tiles(self) -> int:
+        return self.root.nnz
+
+    def depth(self) -> int:
+        def d(node: QuadNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(d(c) for c in node.children)
+
+        return d(self.root)
+
+    def node_count(self) -> int:
+        def cnt(node: QuadNode) -> int:
+            return 1 + sum(cnt(c) for c in node.children)
+
+        return cnt(self.root)
+
+    def leaves(self) -> list[QuadNode]:
+        out: list[QuadNode] = []
+
+        def walk(node: QuadNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+            else:
+                for c in node.children:
+                    walk(c)
+
+        walk(self.root)
+        return out
+
+    def occupancy_savings(self) -> float:
+        """Fraction of the full tile grid never indexed (pruned quadrants).
+
+        The related work's memory-overhead argument: a flat index stores
+        every (i, j) cell; the quad-tree skips empty quadrants wholesale.
+        """
+        covered = sum(
+            (l.row_hi - l.row_lo) * (l.col_hi - l.col_lo) for l in self.leaves()
+        )
+        total = self.shape.ntile_rows * self.shape.ntile_cols
+        return 1.0 - covered / total if total else 0.0
+
+
+# -- Z-order (Morton) tile distribution ---------------------------------------
+
+
+def _interleave_bits(x: np.ndarray, y: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Morton code of (x, y) pairs (vectorized)."""
+    code = np.zeros(x.shape, dtype=np.int64)
+    for b in range(bits):
+        code |= ((x >> b) & 1) << (2 * b + 1)
+        code |= ((y >> b) & 1) << (2 * b)
+    return code
+
+
+def morton_order(ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+    """Permutation sorting tile coordinates along the Z-curve."""
+    return np.argsort(_interleave_bits(np.asarray(ii), np.asarray(jj)), kind="stable")
+
+
+def zorder_owners(ii: np.ndarray, jj: np.ndarray, nprocs: int) -> np.ndarray:
+    """Owner process per tile: contiguous equal-count spans of the Z-curve.
+
+    This is the locality-preserving distribution hierarchical formats
+    induce (each process gets a compact 2-D patch of tiles).
+    """
+    order = morton_order(ii, jj)
+    owners = np.empty(len(order), dtype=np.int64)
+    bounds = np.linspace(0, len(order), nprocs + 1).astype(np.int64)
+    for p in range(nprocs):
+        owners[order[bounds[p] : bounds[p + 1]]] = p
+    return owners
+
+
+def distribution_traffic(plan: ExecutionPlan, owner_of_tile) -> int:
+    """Internode A traffic (bytes) of the plan under an owner map.
+
+    ``owner_of_tile(i, k) -> rank`` gives the *initial* placement of every
+    A tile; each consumer process receives the needed tiles it does not
+    own.  With the paper's 2D-cyclic map this reproduces the plan's
+    recorded volumes; with a Z-order map it prices the related-work
+    layout under the same consumer set.
+    """
+    nK = plan.a_shape.ntile_cols
+    m = plan.a_shape.rows.sizes.astype(np.int64)
+    k = plan.a_shape.cols.sizes.astype(np.int64)
+    total = 0
+    for proc in plan.procs:
+        owners = owner_of_tile(proc.a_needed_rows, proc.a_needed_cols)
+        nbytes = m[proc.a_needed_rows] * k[proc.a_needed_cols] * 8
+        total += int(nbytes[np.asarray(owners) != proc.rank].sum())
+    return total

@@ -1,0 +1,74 @@
+"""The paper's synthetic-sparsity generator.
+
+Paper, Section 5.1: "To decide which tiles are zero in A and B, an iterative
+algorithm selects uniformly a non-zero tile to eliminate, until eliminating
+another tile would draw the density of the matrix (element-wise) under the
+threshold."
+
+The literal loop is O(ntiles) Python iterations; this implementation is an
+exactly equivalent vectorized form: visit tiles in one uniformly random
+permutation and eliminate each visited tile unless doing so would cross the
+element-wise density threshold.  (Visiting in a fixed random permutation and
+sampling-without-replacement uniformly at each step induce the same
+distribution over elimination orders.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.shape import SparseShape
+from repro.tiling.tiling import Tiling
+from repro.util.rng import resolve_rng
+from repro.util.validation import require
+
+
+def random_shape_with_density(
+    rows: Tiling,
+    cols: Tiling,
+    density: float,
+    seed: int | None | np.random.Generator = None,
+) -> SparseShape:
+    """A random shape with element-wise density as close above ``density``
+    as tile granularity permits.
+
+    Starts fully dense and eliminates uniformly random tiles while the
+    element-wise density stays ``>= density``; tiles whose removal would
+    cross the threshold are skipped (the paper's stopping rule, applied per
+    candidate so the final density is the closest achievable from above).
+    """
+    require(0.0 < density <= 1.0, f"density must be in (0, 1], got {density}")
+    rng = resolve_rng(seed)
+
+    nr, nc = rows.ntiles, cols.ntiles
+    total = rows.extent * cols.extent
+    budget = total * (1.0 - density)  # elements we may remove
+
+    if budget <= 0:
+        return SparseShape.full(rows, cols)
+
+    # Element count of every tile, visited in one random permutation.
+    sizes = np.multiply.outer(rows.sizes, cols.sizes).reshape(-1).astype(np.float64)
+    perm = rng.permutation(nr * nc)
+    psizes = sizes[perm]
+
+    # Greedy prefix: remove while cumulative removal stays within budget.
+    cum = np.cumsum(psizes)
+    ncut = int(np.searchsorted(cum, budget, side="right"))
+    removed = np.zeros(nr * nc, dtype=bool)
+    removed[perm[:ncut]] = True
+    spent = float(cum[ncut - 1]) if ncut > 0 else 0.0
+
+    # Tail: later candidates may still fit the remaining budget (smaller
+    # tiles than the one that crossed it); continue scanning the permutation.
+    for p in range(ncut, nr * nc):
+        s = psizes[p]
+        if spent + s <= budget:
+            removed[perm[p]] = True
+            spent += s
+    # Never remove every tile: keep at least one so the matrix participates.
+    if removed.all():
+        removed[perm[-1]] = False
+
+    mask = (~removed).reshape(nr, nc).astype(np.float64)
+    return SparseShape(rows, cols, mask)

@@ -1,0 +1,62 @@
+"""Task-population statistics for screened planning.
+
+The "opt" variants of Table 1 drop the weakest ~3 % of tile GEMMs by
+norm-product.  Picking the threshold requires the distribution of
+``||A_ik|| * ||B_kj||`` over the *task* population (i, k, j); this module
+computes exact quantiles of that distribution with one vectorized pass
+per inner tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.shape import SparseShape
+from repro.sparse.shape_algebra import _check_conformable
+
+
+def task_norm_products(
+    a: SparseShape, b: SparseShape, max_samples: int | None = None, seed: int = 0
+) -> np.ndarray:
+    """All (or a uniform sample of) task norm-products of ``A @ B``.
+
+    With ``max_samples`` set, inner tiles are subsampled proportionally so
+    the result stays bounded on huge instances.
+    """
+    _check_conformable(a, b)
+    a_csc = a.csr.tocsc()
+    b_csr = b.csr
+    nK = a.cols.ntiles
+    total = 0
+    chunks: list[np.ndarray] = []
+    rng = np.random.default_rng(seed)
+    for k in range(nK):
+        an = a_csc.data[a_csc.indptr[k] : a_csc.indptr[k + 1]]
+        if an.size == 0:
+            continue
+        bn = b_csr.data[b_csr.indptr[k] : b_csr.indptr[k + 1]]
+        if bn.size == 0:
+            continue
+        prod = (an[:, None] * bn[None, :]).ravel()
+        total += prod.size
+        chunks.append(prod)
+    if not chunks:
+        return np.empty(0)
+    out = np.concatenate(chunks)
+    if max_samples is not None and out.size > max_samples:
+        out = rng.choice(out, size=max_samples, replace=False)
+    return out
+
+
+def task_norm_product_quantile(
+    a: SparseShape, b: SparseShape, q: float, max_samples: int | None = 2_000_000
+) -> float:
+    """The ``q``-quantile of the task norm-product distribution.
+
+    Screening at this threshold drops (approximately) fraction ``q`` of
+    the tile GEMMs — the paper's "opt" plans use q ~ 0.03.
+    """
+    products = task_norm_products(a, b, max_samples=max_samples)
+    if products.size == 0:
+        return 0.0
+    return float(np.quantile(products, q))

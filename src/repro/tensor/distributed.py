@@ -1,0 +1,41 @@
+"""Distributed execution of tensor contractions.
+
+Ties the order-4 tensor API to the distributed pipeline: the contraction
+spec is matricized exactly as in :func:`repro.tensor.contraction.contract`,
+but the GEMM runs through the full inspector/executor stack
+(:func:`repro.core.psgemm_numeric`) instead of the serial reference —
+the programming model a downstream electronic-structure code would use.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import PlanOptions
+from repro.core.psgemm import psgemm_numeric
+from repro.machine.spec import MachineSpec
+from repro.runtime.numeric import NumericStats
+from repro.tensor.contraction import plan_contraction
+from repro.tensor.tensor import BlockSparseTensor
+
+
+def contract_distributed(
+    spec: str,
+    a: BlockSparseTensor,
+    b: BlockSparseTensor,
+    machine: MachineSpec,
+    p: int = 1,
+    gpus_per_proc: int | None = None,
+    options: PlanOptions | None = None,
+) -> tuple[BlockSparseTensor, NumericStats]:
+    """Evaluate a binary contraction through the distributed plan.
+
+    Parameters mirror :func:`repro.core.psgemm_numeric`; returns the
+    result tensor and the execution statistics (tasks, traffic, peak GPU
+    memory).
+    """
+    cplan = plan_contraction(spec, a, b)
+    am = cplan.matricized_a()
+    bm = cplan.matricized_b()
+    cm, stats = psgemm_numeric(
+        am, bm, machine, p=p, gpus_per_proc=gpus_per_proc, options=options
+    )
+    return cplan.result_from_matrix(cm), stats

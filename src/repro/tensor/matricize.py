@@ -1,0 +1,128 @@
+"""Matricization: fusing tensor modes into matrix rows/columns.
+
+``matricize(T, "ij", "cd")`` turns the order-4 tensor ``T[i,j,c,d]`` into a
+:class:`~repro.sparse.matrix.BlockSparseMatrix` whose rows are the fused
+``ij`` range and columns the fused ``cd`` range — the exact transformation
+Section 2 of the paper applies to map the ABCD contraction onto GEMM.  Tile
+identities are preserved: tensor tile ``(ti, tj, tc, td)`` becomes matrix
+tile ``(ti * nj + tj, tc * nd + td)`` with its data transposed to the
+``(row modes..., col modes...)`` axis order and reshaped 2-D.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.tensor.tensor import BlockSparseTensor
+from repro.tiling.tiling import Tiling
+from repro.util.validation import require
+
+
+def _fused_tiling(tilings: Sequence[Tiling]) -> Tiling:
+    """Tiling of a fused mode group: sizes are the row-major outer product."""
+    sizes = tilings[0].sizes
+    for t in tilings[1:]:
+        sizes = np.multiply.outer(sizes, t.sizes).reshape(-1)
+    return Tiling.from_sizes(sizes)
+
+
+def _ravel_key(key: Sequence[int], grid: Sequence[int]) -> int:
+    """Row-major ravel of a tile-coordinate tuple."""
+    out = 0
+    for k, n in zip(key, grid):
+        out = out * n + k
+    return out
+
+
+def _unravel_key(flat: int, grid: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`_ravel_key`."""
+    out = []
+    for n in reversed(grid):
+        out.append(flat % n)
+        flat //= n
+    return tuple(reversed(out))
+
+
+def matricize(tensor: BlockSparseTensor, row_modes: str, col_modes: str) -> BlockSparseMatrix:
+    """Fuse ``row_modes`` into matrix rows and ``col_modes`` into columns.
+
+    ``row_modes + col_modes`` must be a permutation of the tensor's modes.
+    Tile data is permuted and reshaped; the result owns copies.
+    """
+    all_modes = row_modes + col_modes
+    require(
+        sorted(all_modes) == sorted(tensor.mode_names),
+        f"modes {all_modes!r} are not a permutation of {''.join(tensor.mode_names)!r}",
+    )
+    row_axes = [tensor.mode_axis(m) for m in row_modes]
+    col_axes = [tensor.mode_axis(m) for m in col_modes]
+    row_tilings = [tensor.tilings[a] for a in row_axes]
+    col_tilings = [tensor.tilings[a] for a in col_axes]
+    rows = _fused_tiling(row_tilings)
+    cols = _fused_tiling(col_tilings)
+    row_grid = [t.ntiles for t in row_tilings]
+    col_grid = [t.ntiles for t in col_tilings]
+
+    out = BlockSparseMatrix(rows, cols)
+    perm = row_axes + col_axes
+    for key, tile in tensor.items():
+        ri = _ravel_key([key[a] for a in row_axes], row_grid)
+        cj = _ravel_key([key[a] for a in col_axes], col_grid)
+        data = np.transpose(tile, perm)
+        m = int(np.prod(data.shape[: len(row_axes)], dtype=np.int64))
+        n = int(np.prod(data.shape[len(row_axes) :], dtype=np.int64))
+        out.set_tile(ri, cj, data.reshape(m, n))
+    return out
+
+
+def unmatricize(
+    matrix: BlockSparseMatrix,
+    mode_names: str,
+    tilings: Sequence[Tiling],
+    row_modes: str,
+    col_modes: str,
+) -> BlockSparseTensor:
+    """Inverse of :func:`matricize`: rebuild the tensor from a fused matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A matrix whose rows/cols are the fusions of ``row_modes``/``col_modes``
+        over ``tilings`` (given in ``mode_names`` order).
+    mode_names, tilings:
+        The target tensor's modes and their tilings.
+    row_modes, col_modes:
+        The fusion that produced ``matrix``.
+    """
+    require(
+        sorted(row_modes + col_modes) == sorted(mode_names),
+        "row/col modes are not a permutation of the tensor modes",
+    )
+    name_to_pos = {m: i for i, m in enumerate(mode_names)}
+    row_tilings = [tilings[name_to_pos[m]] for m in row_modes]
+    col_tilings = [tilings[name_to_pos[m]] for m in col_modes]
+    require(
+        matrix.rows == _fused_tiling(row_tilings) and matrix.cols == _fused_tiling(col_tilings),
+        "matrix tilings do not match the fused mode tilings",
+    )
+    row_grid = [t.ntiles for t in row_tilings]
+    col_grid = [t.ntiles for t in col_tilings]
+
+    out = BlockSparseTensor(mode_names, tilings)
+    # Position of each output mode within the (row_modes + col_modes) order.
+    fused_order = row_modes + col_modes
+    inv_perm = [fused_order.index(m) for m in mode_names]
+    for (ri, cj), data in matrix.items():
+        rkey = _unravel_key(ri, row_grid)
+        ckey = _unravel_key(cj, col_grid)
+        sizes = [t.tile_size(k) for t, k in zip(row_tilings, rkey)] + [
+            t.tile_size(k) for t, k in zip(col_tilings, ckey)
+        ]
+        nd = data.reshape(sizes)
+        key_by_fused = list(rkey) + list(ckey)
+        key = tuple(key_by_fused[p] for p in inv_perm)
+        out.set_tile(key, np.transpose(nd, inv_perm))
+    return out

@@ -1,0 +1,149 @@
+"""Permutational pair symmetry — the optimization the paper skips.
+
+Footnote 1 of the paper: "The permutational symmetries of tensors T, V
+and R, which are essential for proper physics as well as attaining the
+optimal operation count, are neglected for simplicity."  This module
+implements the leading such symmetry for the matricized ABCD term:
+
+    T[(i,j),(c,d)] = T[(j,i),(d,c)],   V likewise  =>  R[(i,j),(a,b)] = R[(j,i),(b,a)]
+
+so only the *canonical* row-pair tiles (``t1 <= t2``) of R need to be
+computed; the rest follow by the pair transpose.  At tile granularity the
+fold keeps the canonical ``n(n+1)/2`` of the ``n^2`` fused row tiles —
+asymptotically halving rows, flops and A traffic — and
+:func:`reconstruct_full` rebuilds the remaining tiles exactly.
+
+All operations are exact (no approximation): tests verify that folding +
+reconstruction reproduces the unfolded contraction to roundoff on
+symmetric inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.shape import SparseShape
+from repro.tiling.tiling import Tiling
+from repro.util.validation import require
+
+
+def canonical_pair_tiles(n: int) -> np.ndarray:
+    """Fused ids ``t1 * n + t2`` with ``t1 <= t2``, ascending."""
+    t1, t2 = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = (t1 <= t2).ravel()
+    return np.flatnonzero(mask)
+
+
+def partner_pair(t: int | np.ndarray, n: int):
+    """Fused id of the swapped pair: ``(t1, t2) -> (t2, t1)``."""
+    return (np.asarray(t) % n) * n + (np.asarray(t) // n)
+
+
+def pair_transpose_tile(
+    data: np.ndarray,
+    row_sizes: tuple[int, int],
+    col_sizes: tuple[int, int],
+) -> np.ndarray:
+    """The tile of the swapped pairs: swap both constituent index pairs.
+
+    A tile of fused rows ``(t1, t2)`` and fused columns ``(ta, tb)`` with
+    element shape ``(s1*s2, sa*sb)`` becomes the tile of rows ``(t2, t1)``
+    and columns ``(tb, ta)``: reshape to order-4, swap within each pair,
+    reshape back.
+    """
+    s1, s2 = row_sizes
+    sa, sb = col_sizes
+    require(data.shape == (s1 * s2, sa * sb), "tile shape mismatch")
+    nd = data.reshape(s1, s2, sa, sb)
+    return np.ascontiguousarray(nd.transpose(1, 0, 3, 2).reshape(s2 * s1, sb * sa))
+
+
+def symmetrize_pair_matrix(mat: BlockSparseMatrix, n_row: int, n_col: int) -> BlockSparseMatrix:
+    """Project a pair-fused matrix onto its symmetric part.
+
+    ``M <- (M + P M P) / 2`` where ``P`` is the pair swap on each side —
+    produces test inputs with the physical symmetry exactly.
+    """
+    row_sizes = _constituent_sizes(mat.rows, n_row)
+    col_sizes = _constituent_sizes(mat.cols, n_col)
+    out = BlockSparseMatrix(mat.rows, mat.cols)
+    for (r, c), tile in mat.items():
+        pr = int(partner_pair(r, n_row))
+        pc = int(partner_pair(c, n_col))
+        partner = mat.tile_or_zeros(pr, pc)
+        swapped = pair_transpose_tile(partner, row_sizes[pr], col_sizes[pc])
+        out.set_tile(r, c, 0.5 * (tile + swapped))
+    # Tiles present only at the partner position contribute their half too.
+    for (r, c), tile in mat.items():
+        pr = int(partner_pair(r, n_row))
+        pc = int(partner_pair(c, n_col))
+        if not out.has_tile(pr, pc):
+            out.set_tile(
+                pr, pc, pair_transpose_tile(out.get_tile(r, c), row_sizes[r], col_sizes[c])
+            )
+    return out
+
+
+def _constituent_sizes(fused: Tiling, n: int) -> list[tuple[int, int]]:
+    """Per fused tile, the (s1, s2) constituent sizes.
+
+    The fused tiling must be the row-major pair fusion of an ``n``-tile
+    base tiling; sizes are recovered from the diagonal tiles.
+    """
+    require(fused.ntiles == n * n, "tiling is not an n x n pair fusion")
+    sizes = fused.sizes
+    base = np.sqrt(sizes[np.arange(n) * n + np.arange(n)]).astype(np.int64)
+    require(bool(np.all(base * base == sizes[np.arange(n) * n + np.arange(n)])),
+            "diagonal fused tiles are not perfect squares")
+    out = []
+    for t in range(n * n):
+        t1, t2 = t // n, t % n
+        out.append((int(base[t1]), int(base[t2])))
+    # Validate the factorization.
+    expect = np.array([a * b for a, b in out])
+    require(bool(np.all(expect == sizes)), "fused sizes inconsistent with base tiling")
+    return out
+
+
+def fold_rows(shape: SparseShape, n: int) -> tuple[SparseShape, np.ndarray]:
+    """Restrict a pair-fused-row shape to its canonical row tiles.
+
+    Returns the folded shape (rows re-packed) and the kept fused ids.
+    """
+    keep = canonical_pair_tiles(n)
+    return shape.restrict_rows(keep), keep
+
+
+def folded_flop_ratio(n: int) -> float:
+    """Fraction of row tiles kept: ``(n+1) / (2n)`` — tends to 1/2."""
+    return (n * (n + 1) / 2) / (n * n)
+
+
+def reconstruct_full(
+    c_folded: BlockSparseMatrix,
+    kept_rows: np.ndarray,
+    full_rows: Tiling,
+    n_row: int,
+    n_col: int,
+) -> BlockSparseMatrix:
+    """Rebuild the full pair-symmetric result from its canonical rows.
+
+    ``c_folded`` holds the canonical row tiles (in ``kept_rows`` order)
+    against the full column tiling; the non-canonical rows are the pair
+    transposes: ``C[(t2,t1), (tb,ta)] = Pt(C[(t1,t2), (ta,tb)])``.
+    """
+    require(c_folded.rows.ntiles == kept_rows.size, "folded rows mismatch")
+    col_sizes = _constituent_sizes(c_folded.cols, n_col)
+    row_sizes = _constituent_sizes(full_rows, n_row)
+
+    out = BlockSparseMatrix(full_rows, c_folded.cols)
+    for (rf, c), tile in c_folded.items():
+        r = int(kept_rows[rf])
+        out.set_tile(r, c, tile)
+        pr = int(partner_pair(r, n_row))
+        if pr == r:
+            continue
+        pc = int(partner_pair(c, n_col))
+        out.set_tile(pr, pc, pair_transpose_tile(tile, row_sizes[r], col_sizes[c]))
+    return out

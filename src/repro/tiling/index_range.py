@@ -1,0 +1,45 @@
+"""Named index ranges.
+
+An :class:`IndexRange` is the tensor-algebra notion of a mode: a name (such
+as ``"i"`` for occupied orbitals or ``"a"`` for unoccupied ones) together
+with an extent.  Contractions match modes by name; tilings partition them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class IndexRange:
+    """A named contiguous index range ``[0, extent)``.
+
+    Parameters
+    ----------
+    name:
+        Mode label used in contraction specifications (e.g. ``"c"``).
+    extent:
+        Number of indices in the range; must be positive.
+    """
+
+    name: str
+    extent: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.extent, "extent")
+        if not self.name:
+            raise ValueError("IndexRange name must be non-empty")
+
+    def fused(self, other: "IndexRange") -> "IndexRange":
+        """The fused (row-major) range for the index pair ``(self, other)``.
+
+        Fusing ``i`` (extent O) with ``j`` (extent O) gives the matricized
+        row range ``ij`` of extent ``O*O``; this is how the order-4 tensors
+        of the ABCD term become matrices.
+        """
+        return IndexRange(self.name + other.name, self.extent * other.extent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexRange({self.name!r}, {self.extent})"

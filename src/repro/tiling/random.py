@@ -1,0 +1,57 @@
+"""Random irregular tilings for the synthetic benchmarks.
+
+Paper, Section 5.1: "Irregularity of tiling is set randomly to be uniform
+between 512 and 2048 (in each dimension)".  :func:`random_tiling` draws tile
+sizes i.i.d. uniform in ``[lo, hi]`` until the extent is covered; the final
+tile absorbs the remainder (clamped to at least ``lo`` by merging with its
+neighbour when necessary so that degenerate slivers never appear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tiling.tiling import Tiling
+from repro.util.rng import resolve_rng
+from repro.util.validation import require
+
+
+def random_tiling(
+    extent: int,
+    lo: int = 512,
+    hi: int = 2048,
+    seed: int | None | np.random.Generator = None,
+) -> Tiling:
+    """Tile ``range(extent)`` with sizes ~ U[lo, hi].
+
+    Parameters
+    ----------
+    extent:
+        Range extent; must be at least ``lo``.
+    lo, hi:
+        Inclusive bounds of the uniform tile-size distribution.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    require(lo > 0 and hi >= lo, "need 0 < lo <= hi")
+    require(extent >= lo, f"extent {extent} smaller than minimum tile {lo}")
+    rng = resolve_rng(seed)
+
+    # Draw enough sizes in one vectorized call; mean size is (lo+hi)/2.
+    est = max(8, int(2.2 * extent / ((lo + hi) / 2)) + 8)
+    sizes = rng.integers(lo, hi + 1, size=est)
+    cum = np.cumsum(sizes)
+    while cum[-1] < extent:  # pragma: no cover - est is generous
+        extra = rng.integers(lo, hi + 1, size=est)
+        sizes = np.concatenate((sizes, extra))
+        cum = np.cumsum(sizes)
+
+    ncut = int(np.searchsorted(cum, extent, side="left")) + 1
+    sizes = sizes[:ncut].copy()
+    sizes[-1] -= int(cum[ncut - 1] - extent)
+    if sizes[-1] < lo and len(sizes) > 1:
+        # Merge the sliver into the previous tile (keeps sizes >= lo, and the
+        # merged tile is < lo + hi, still a "reasonable" tile).
+        sizes[-2] += sizes[-1]
+        sizes = sizes[:-1]
+    return Tiling.from_sizes(sizes)

@@ -1,0 +1,70 @@
+"""Units and human-readable formatting.
+
+The performance models traffic exclusively in SI base units (bytes, seconds,
+flops).  These constants and formatters are the only place where scaling
+prefixes appear, so a "GB/s vs GiB/s" confusion cannot creep into the models.
+"""
+
+from __future__ import annotations
+
+# Binary byte units (memory capacities).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# Decimal units (rates, flop counts) — matches vendor GB/s and Tflop/s usage.
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+PETA = 10**15
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary prefix, e.g. ``1.50 GiB``."""
+    n = float(n)
+    for unit, div in (("TiB", GIB * 1024), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_count(n: float) -> str:
+    """Format a plain count with a decimal prefix, e.g. ``1.90 M``."""
+    n = float(n)
+    for unit, div in (("G", GIGA), ("M", MEGA), ("k", KILO)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f}"
+
+
+def fmt_flops(n: float) -> str:
+    """Format a flop count, e.g. ``1.24 Pflop``."""
+    n = float(n)
+    for unit, div in (("Eflop", 10**18), ("Pflop", PETA), ("Tflop", TERA), ("Gflop", GIGA), ("Mflop", MEGA)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} flop"
+
+
+def fmt_rate(flops_per_s: float) -> str:
+    """Format a throughput, e.g. ``203.1 Tflop/s``."""
+    n = float(flops_per_s)
+    for unit, div in (("Pflop/s", PETA), ("Tflop/s", TERA), ("Gflop/s", GIGA), ("Mflop/s", MEGA)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{n:.0f} flop/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration, e.g. ``34.9 s`` or ``1.2 ms``."""
+    s = float(seconds)
+    if s >= 3600:
+        return f"{s / 3600:.2f} h"
+    if s >= 60:
+        return f"{s / 60:.2f} min"
+    if s >= 1:
+        return f"{s:.3g} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3g} ms"
+    return f"{s * 1e6:.3g} us"

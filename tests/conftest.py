@@ -1,0 +1,25 @@
+"""Test-suite configuration.
+
+Hypothesis deadlines are disabled globally: the suite runs on arbitrary
+(often single-core, contended) CI machines, and the property tests wrap
+whole planner/executor pipelines whose wall time is load-dependent.
+Example counts stay per-test; set ``HYPOTHESIS_PROFILE=thorough`` for a
+deeper fuzzing pass.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

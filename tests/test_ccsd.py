@@ -1,0 +1,123 @@
+"""Tests for the mock CCSD amplitude iterations."""
+
+import numpy as np
+import pytest
+
+from repro.chem.ccsd import CcsdTrace, scale_coupling, solve_amplitudes
+from repro.machine import summit
+from repro.sparse import random_block_sparse
+from repro.tiling import random_tiling
+
+
+def operands(seed=0, m=200, k=800):
+    rows = random_tiling(m, 25, 80, seed=seed)
+    inner = random_tiling(k, 25, 80, seed=seed + 1)
+    t0 = random_block_sparse(rows, inner, 0.4, seed=seed + 2)
+    v = random_block_sparse(inner, inner, 0.4, seed=seed + 3)
+    return t0, scale_coupling(v, 0.5)
+
+
+class TestScaleCoupling:
+    def test_norm_target(self):
+        _, vs = operands()
+        assert vs.norm_fro() == pytest.approx(0.5)
+
+    def test_rejects_bad_target(self):
+        _, vs = operands()
+        with pytest.raises(ValueError):
+            scale_coupling(vs, 1.5)
+        with pytest.raises(ValueError):
+            scale_coupling(vs, 0.0)
+
+    def test_original_unchanged(self):
+        rows = random_tiling(100, 20, 50, seed=9)
+        v = random_block_sparse(rows, rows, 0.5, seed=10)
+        before = v.norm_fro()
+        scale_coupling(v)
+        assert v.norm_fro() == pytest.approx(before)
+
+
+class TestSolveAmplitudes:
+    def test_converges_and_residual_decreases(self):
+        t0, vs = operands(seed=1)
+        trace = solve_amplitudes(t0, vs, max_iter=40, tol=1e-10)
+        assert trace.converged
+        r = trace.residual_norms
+        assert all(b < a for a, b in zip(r, r[1:]))
+        # Paper: "typically 10-20 iterations" at this contraction factor.
+        assert trace.iterations <= 40
+
+    def test_fixed_point_satisfied(self):
+        t0, vs = operands(seed=2)
+        trace = solve_amplitudes(t0, vs, max_iter=60, tol=1e-12)
+        t_star = trace.t.to_dense()
+        lhs = t_star
+        rhs = t0.to_dense() + t_star @ vs.to_dense()
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_matches_direct_solve(self):
+        t0, vs = operands(seed=3, m=120, k=300)
+        trace = solve_amplitudes(t0, vs, max_iter=80, tol=1e-13)
+        n = vs.rows.extent
+        direct = t0.to_dense() @ np.linalg.inv(np.eye(n) - vs.to_dense())
+        assert np.allclose(trace.t.to_dense(), direct, atol=1e-8)
+
+    def test_distributed_contraction_agrees_with_serial(self):
+        t0, vs = operands(seed=4, m=150, k=400)
+        serial = solve_amplitudes(t0, vs, max_iter=10, tol=0)
+        dist = solve_amplitudes(
+            t0, vs, max_iter=10, tol=0, machine=summit(2), p=2
+        )
+        assert serial.t.allclose(dist.t)
+        assert np.allclose(serial.residual_norms, dist.residual_norms)
+
+    def test_damped_iteration_still_converges(self):
+        t0, vs = operands(seed=5)
+        trace = solve_amplitudes(t0, vs, max_iter=120, tol=1e-9, mixing=0.5)
+        assert trace.converged
+
+    def test_pruning_keeps_solution_close(self):
+        t0, vs = operands(seed=6)
+        exact = solve_amplitudes(t0, vs, max_iter=60, tol=1e-12)
+        pruned = solve_amplitudes(t0, vs, max_iter=60, tol=1e-12, prune_tol=1e-6)
+        diff = exact.t.copy().axpy(-1.0, pruned.t).norm_fro()
+        assert diff < 1e-3 * exact.t.norm_fro()
+        assert pruned.nnz_history[-1] <= exact.nnz_history[-1]
+
+    def test_budget_exhaustion_not_converged(self):
+        t0, vs = operands(seed=7)
+        trace = solve_amplitudes(t0, vs, max_iter=2, tol=1e-14)
+        assert not trace.converged
+        assert trace.iterations == 2
+
+    def test_nonconforming(self):
+        t0, _ = operands(seed=8)
+        bad_v, _ = operands(seed=9, k=500)
+        with pytest.raises(ValueError):
+            solve_amplitudes(t0, bad_v)
+
+    def test_trace_type(self):
+        t0, vs = operands(seed=10)
+        assert isinstance(solve_amplitudes(t0, vs, max_iter=1, tol=0), CcsdTrace)
+
+
+class TestPlanReuse:
+    def test_plans_built_less_than_iterations(self):
+        t0, vs = operands(seed=11, m=150, k=400)
+        trace = solve_amplitudes(
+            t0, vs, max_iter=12, tol=0, machine=summit(1), p=1
+        )
+        assert trace.iterations == 12
+        # T's occupancy stabilizes after the first few sweeps.
+        assert 1 <= trace.plans_built < trace.iterations
+
+    def test_reused_plan_result_identical_to_serial(self):
+        t0, vs = operands(seed=12, m=150, k=400)
+        dist = solve_amplitudes(t0, vs, max_iter=8, tol=0, machine=summit(1))
+        serial = solve_amplitudes(t0, vs, max_iter=8, tol=0)
+        assert dist.t.allclose(serial.t)
+
+    def test_serial_path_builds_no_plans(self):
+        t0, vs = operands(seed=13)
+        trace = solve_amplitudes(t0, vs, max_iter=3, tol=0)
+        assert trace.plans_built == 0

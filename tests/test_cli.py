@@ -1,0 +1,122 @@
+"""Tests for the command-line interface and the tiling advisor."""
+
+import numpy as np
+import pytest
+
+from repro.chem import TilingVariant, alkane, build_abcd_problem
+from repro.cli import build_parser, main
+from repro.core.advisor import recommend_tiling
+from repro.machine import summit
+
+
+class TestCli:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "matches dense reference: True" in out
+
+    def test_traits_prints_table(self, capsys):
+        assert main(["traits"]) == 0
+        out = capsys.readouterr().out
+        assert "#GEMM tasks" in out and "paper" in out
+
+    def test_scaling_subset(self, capsys):
+        assert main(["scaling", "--variants", "v3", "--gpus", "3", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "tiling v3" in out
+        assert "v1" not in out.split("scaling")[0]
+
+    def test_mpqc(self, capsys):
+        assert main(["mpqc"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_advise_small(self, capsys):
+        # AO cluster targets below ~16 make single B columns wider than a
+        # GPU can ever hold for C65H132, so stay at/above the paper's range.
+        assert main(["advise", "--targets", "5x22", "4x16", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestAdvisor:
+    def _builder(self):
+        mol = alkane(12)
+
+        def build(cand):
+            occ, ao = cand
+            prob = build_abcd_problem(
+                mol, TilingVariant(f"{occ}x{ao}", occ, ao), seed=0
+            )
+            return prob.t_shape, prob.v_shape
+
+        return build
+
+    def test_recommendation_is_minimum(self):
+        rec = recommend_tiling(
+            self._builder(), [(6, 14), (4, 8), (3, 5)], summit(1)
+        )
+        assert rec.best.time == min(c.time for c in rec.candidates)
+        assert len(rec.candidates) == 3
+
+    def test_labels_and_rows(self):
+        rec = recommend_tiling(
+            self._builder(), [(4, 8), (3, 5)], summit(1), labels=["fine", "coarse"]
+        )
+        rows = rec.table_rows()
+        assert rows[0][0] == "fine"
+        assert any("best" in r[-1] for r in rows)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            recommend_tiling(self._builder(), [], summit(1))
+
+
+class TestD2d:
+    def test_sharing_never_slower_and_fraction_bounds(self):
+        from repro.core import psgemm_plan
+        from repro.core.analytic import simulate
+        from repro.core.d2d import (
+            d2d_effective_bandwidth,
+            duplicated_traffic_fraction,
+        )
+        from repro.sparse import random_shape_with_density
+        from repro.tiling import random_tiling
+
+        rows = random_tiling(600, 40, 160, seed=0)
+        inner = random_tiling(3000, 40, 160, seed=1)
+        a = random_shape_with_density(rows, inner, 0.5, seed=2)
+        b = random_shape_with_density(inner, inner, 0.5, seed=3)
+        machine = summit(1)
+        plan = psgemm_plan(a, b, machine, p=1)
+        off = simulate(plan, machine, use_d2d=False)
+        on = simulate(plan, machine, use_d2d=True)
+        assert on.makespan <= off.makespan + 1e-12
+
+        m = a.rows.sizes.astype(np.int64)
+        k = a.cols.sizes.astype(np.int64)
+        for proc in plan.procs:
+            frac = duplicated_traffic_fraction(
+                proc, a.ntile_cols, m, k, plan.grid.gpus_per_proc
+            )
+            assert 0.0 <= frac < 1.0
+
+    def test_effective_bandwidth_blend(self):
+        assert d2d_eff(10e9, 40e9, 0.0) == pytest.approx(10e9)
+        assert d2d_eff(10e9, 40e9, 1.0) == pytest.approx(40e9)
+        mid = d2d_eff(10e9, 40e9, 0.5)
+        assert 10e9 < mid < 40e9
+
+
+def d2d_eff(host, d2d, frac):
+    from repro.core.d2d import d2d_effective_bandwidth
+
+    return d2d_effective_bandwidth(host, d2d, frac)

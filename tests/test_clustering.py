@@ -1,0 +1,110 @@
+"""Tests for k-means and spatially clustered ranges."""
+
+import numpy as np
+import pytest
+
+from repro.tiling import cluster_points, kmeans
+from repro.tiling.kmeans import KMeansResult
+
+
+def quasi_1d_points(n=400, length=80.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(scale=1.0, size=(n, 3))
+    pts[:, 0] = np.sort(rng.uniform(0, length, size=n))
+    return pts
+
+
+class TestKMeans:
+    def test_exact_k_nonempty(self):
+        pts = quasi_1d_points()
+        res = kmeans(pts, 16, seed=1)
+        counts = np.bincount(res.labels, minlength=16)
+        assert res.k == 16
+        assert (counts > 0).all()
+
+    def test_deterministic(self):
+        pts = quasi_1d_points()
+        r1 = kmeans(pts, 8, seed=3)
+        r2 = kmeans(pts, 8, seed=3)
+        assert np.array_equal(r1.labels, r2.labels)
+        assert np.allclose(r1.centers, r2.centers)
+
+    def test_centers_ordered_along_dominant_axis(self):
+        pts = quasi_1d_points()
+        res = kmeans(pts, 10, seed=2)
+        assert (np.diff(res.centers[:, 0]) > 0).all()
+
+    def test_k_equals_n(self):
+        pts = np.arange(6, dtype=float).reshape(-1, 1) * 10
+        res = kmeans(pts, 6, seed=0)
+        assert sorted(res.labels.tolist()) == list(range(6))
+
+    def test_k_one(self):
+        pts = quasi_1d_points(50)
+        res = kmeans(pts, 1, seed=0)
+        assert np.allclose(res.centers[0], pts.mean(axis=0))
+        assert (res.labels == 0).all()
+
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(4)
+        blobs = [rng.normal(loc=(c, 0, 0), scale=0.1, size=(30, 3)) for c in (0.0, 50.0, 100.0)]
+        pts = np.vstack(blobs)
+        res = kmeans(pts, 3, seed=5)
+        # Each blob maps to a single cluster, in spatial order.
+        for b, blob_slice in enumerate((slice(0, 30), slice(30, 60), slice(60, 90))):
+            assert len(set(res.labels[blob_slice].tolist())) == 1
+            assert res.labels[blob_slice][0] == b
+
+    def test_invalid_k(self):
+        pts = quasi_1d_points(10)
+        with pytest.raises(ValueError):
+            kmeans(pts, 11)
+        with pytest.raises(ValueError):
+            kmeans(pts, 0)
+
+    def test_inertia_decreases_with_k(self):
+        pts = quasi_1d_points()
+        i2 = kmeans(pts, 2, seed=0).inertia
+        i16 = kmeans(pts, 16, seed=0).inertia
+        assert i16 < i2
+
+    def test_result_type(self):
+        res = kmeans(quasi_1d_points(30), 3, seed=0)
+        assert isinstance(res, KMeansResult)
+
+
+class TestClusterPoints:
+    def test_tiling_covers_all_points(self):
+        pts = quasi_1d_points()
+        cr = cluster_points(pts, 12, seed=6)
+        assert cr.extent == len(pts)
+        assert cr.ntiles == 12
+        assert cr.tiling.sizes.sum() == len(pts)
+
+    def test_order_is_permutation(self):
+        pts = quasi_1d_points(100)
+        cr = cluster_points(pts, 5, seed=1)
+        assert sorted(cr.order.tolist()) == list(range(100))
+
+    def test_order_groups_clusters_contiguously(self):
+        pts = quasi_1d_points(200)
+        cr = cluster_points(pts, 8, seed=2)
+        # Points of tile t, after permutation, must all be closest to center t.
+        reordered = pts[cr.order]
+        for t in range(cr.ntiles):
+            members = reordered[cr.tiling.tile_slice(t)]
+            d = np.linalg.norm(members - cr.centers[t], axis=1)
+            assert (d <= cr.radii[t] + 1e-9).all()
+
+    def test_radii_nonnegative(self):
+        cr = cluster_points(quasi_1d_points(), 10, seed=3)
+        assert (cr.radii >= 0).all()
+
+    def test_weights_length_validated(self):
+        pts = quasi_1d_points(50)
+        with pytest.raises(ValueError):
+            cluster_points(pts, 4, weights=np.ones(7))
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError):
+            cluster_points(quasi_1d_points(5), 9)

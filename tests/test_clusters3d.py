@@ -1,0 +1,85 @@
+"""Tests for the compact (2-D/3-D) molecule generators."""
+
+import numpy as np
+import pytest
+
+from repro.chem import TilingVariant, alkane, build_abcd_problem
+from repro.chem.clusters3d import alkane_sheet, water_cluster
+from repro.chem.molecule import bonds
+from repro.chem.basis import ao_count
+from repro.chem.orbitals import occupied_count
+
+
+class TestWaterCluster:
+    def test_formula_and_counts(self):
+        m = water_cluster(8, seed=0)
+        assert m.count("O") == 8 and m.count("H") == 16
+        assert ao_count(m) == 8 * (14 + 2 * 5)
+
+    def test_two_bonds_per_molecule(self):
+        m = water_cluster(6, seed=1)
+        assert len(bonds(m)) == 12
+        assert occupied_count(m) == 12
+
+    def test_compact_geometry(self):
+        m = water_cluster(27, seed=2)
+        pos = m.positions()
+        spread = pos.max(axis=0) - pos.min(axis=0)
+        # Near-isotropic: no dimension dominates by more than ~2x.
+        assert spread.max() < 2.5 * spread.min()
+
+    def test_deterministic(self):
+        m1 = water_cluster(5, seed=3)
+        m2 = water_cluster(5, seed=3)
+        assert np.allclose(m1.positions(), m2.positions())
+
+    def test_oh_bond_lengths(self):
+        m = water_cluster(4, seed=4)
+        pos = m.positions()
+        syms = m.symbols()
+        for i, j in bonds(m):
+            assert {syms[i], syms[j]} == {"O", "H"}
+            assert np.linalg.norm(pos[i] - pos[j]) == pytest.approx(0.9572, abs=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            water_cluster(0)
+
+
+class TestAlkaneSheet:
+    def test_atom_count(self):
+        m = alkane_sheet(10, 4)
+        assert m.natoms == 4 * alkane(10).natoms
+
+    def test_planar_spread(self):
+        m = alkane_sheet(20, 5)
+        pos = m.positions()
+        spread = pos.max(axis=0) - pos.min(axis=0)
+        # Extended in x (chain) and y (stacking), thin in z.
+        assert spread[0] > 4 * spread[2]
+        assert spread[1] > 4 * spread[2]
+
+    def test_bonds_per_chain_preserved(self):
+        # Chains are spaced beyond bonding distance.
+        m = alkane_sheet(6, 3)
+        assert len(bonds(m)) == 3 * (3 * 6 + 1)
+
+
+class TestDensityRegimes:
+    def test_compact_system_is_denser(self):
+        """The paper's conclusion: compact molecules yield denser tensors."""
+        chain = build_abcd_problem(
+            alkane(27), TilingVariant("1d", 4, 16), seed=0
+        )
+        drop = build_abcd_problem(
+            water_cluster(27, seed=0), TilingVariant("3d", 4, 16), seed=0
+        )
+        assert drop.v_shape.element_density > 2 * chain.v_shape.element_density
+        assert drop.t_shape.element_density > chain.t_shape.element_density
+
+    def test_sheet_between_chain_and_droplet(self):
+        chain = build_abcd_problem(alkane(24), TilingVariant("1d", 4, 12), seed=0)
+        sheet = build_abcd_problem(
+            alkane_sheet(8, 3), TilingVariant("2d", 4, 12), seed=0
+        )
+        assert sheet.v_shape.element_density > chain.v_shape.element_density

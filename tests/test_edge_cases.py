@@ -1,0 +1,108 @@
+"""Edge-case and error-path tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import DiscreteEventEngine, GeneratedCollection, Resource, SimTask
+from repro.sparse import SparseShape
+from repro.tiling import Tiling
+
+
+class TestTilingEdges:
+    def test_single_element_range(self):
+        t = Tiling.from_sizes([1])
+        assert t.extent == 1 and t.tile_of(0) == 0
+
+    def test_restrict_empty_selection(self):
+        t = Tiling.from_sizes([2, 3])
+        with pytest.raises(ValueError):
+            t.restrict([])
+
+    def test_restrict_out_of_bounds(self):
+        t = Tiling.from_sizes([2, 3])
+        with pytest.raises(IndexError):
+            t.restrict([5])
+
+
+class TestShapeEdges:
+    def test_single_tile_shape(self):
+        t = Tiling.single(7)
+        s = SparseShape.full(t, t)
+        assert s.nnz_tiles == 1
+        assert s.element_nnz == 49
+        assert s.tile_density == 1.0
+
+    def test_empty_shape_queries(self):
+        t = Tiling.from_sizes([3, 4])
+        s = SparseShape.empty(t, t)
+        ii, jj = s.nonzero_tiles()
+        assert ii.size == jj.size == 0
+        assert s.element_nnz == 0
+        assert s.column_element_counts().sum() == 0
+        assert s.transpose().nnz_tiles == 0
+
+    def test_shape_not_hashable(self):
+        t = Tiling.single(2)
+        with pytest.raises(TypeError):
+            hash(SparseShape.full(t, t))
+
+    def test_intersect_grid_mismatch(self):
+        a = SparseShape.full(Tiling.single(2), Tiling.single(2))
+        b = SparseShape.full(Tiling.single(3), Tiling.single(3))
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+
+class TestGeneratedCollectionEdges:
+    def test_unknown_fill_rejected(self):
+        t = Tiling.from_sizes([2])
+        shape = SparseShape.full(t, t)
+        with pytest.raises(ValueError, match="fill"):
+            GeneratedCollection(shape, fill="bogus")
+
+    def test_evict_unknown_is_noop(self):
+        t = Tiling.from_sizes([2])
+        g = GeneratedCollection(SparseShape.full(t, t), seed=0)
+        g.evict(0, 0, 0)  # never materialized; must not raise
+
+
+class TestEngineEdges:
+    def test_insertion_order_breaks_priority_ties(self):
+        e = DiscreteEventEngine([Resource("r")])
+        e.add_task(SimTask("first", "r", 1.0, priority=1))
+        e.add_task(SimTask("second", "r", 1.0, priority=1))
+        trace = e.run()
+        assert [ev.task for ev in trace.events] == ["first", "second"]
+
+    def test_empty_engine_runs(self):
+        e = DiscreteEventEngine([Resource("r")])
+        trace = e.run()
+        assert trace.makespan == 0.0
+        assert trace.events == []
+
+    def test_negative_duration_rejected(self):
+        e = DiscreteEventEngine([Resource("r")])
+        with pytest.raises(ValueError):
+            e.add_task(SimTask("bad", "r", -1.0))
+
+
+class TestFormattingEdges:
+    def test_fmt_negative_bytes(self):
+        from repro.util import fmt_bytes
+
+        assert "MiB" in fmt_bytes(-3 * 2**20)
+
+    def test_fmt_zero(self):
+        from repro.util import fmt_count, fmt_flops, fmt_rate
+
+        assert fmt_count(0) == "0"
+        assert fmt_flops(0) == "0 flop"
+        assert fmt_rate(0) == "0 flop/s"
+
+
+class TestIoEdges:
+    def test_load_missing_file(self, tmp_path):
+        from repro.sparse.io import load_matrix
+
+        with pytest.raises(FileNotFoundError):
+            load_matrix(str(tmp_path / "nope.npz"))

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.figures import ascii_chart, scaling_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"s": [(1, 1), (2, 4), (3, 9)]}, width=30, height=8)
+        lines = out.splitlines()
+        assert any("o" in l for l in lines)
+        assert "o=s" in lines[-1]
+        assert "-" * 30 in out
+
+    def test_axis_labels(self):
+        out = ascii_chart(
+            {"a": [(1, 10), (100, 20)]}, logx=True, xlabel="N", ylabel="T"
+        )
+        assert "N" in out and "[T]" in out
+        assert "1" in out and "100" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart({"a": [(1, 1)], "b": [(2, 2)], "c": [(3, 3)]})
+        last = out.splitlines()[-1]
+        assert "o=a" in last and "x=b" in last and "+=c" in last
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"s": []}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"flat": [(1, 5), (2, 5), (3, 5)]})
+        assert "o" in out
+
+    def test_log_axes_positive_extremes_labelled(self):
+        out = ascii_chart({"s": [(1, 1), (1000, 1000)]}, logx=True, logy=True)
+        assert "1e+03" in out or "1000" in out
+
+
+class TestScalingChart:
+    def test_renders_all_metrics(self):
+        from repro.experiments.c65h132 import ScalingPoint
+
+        data = {
+            "v1": [
+                ScalingPoint("v1", 3, 200.0, 5e12, 1.6e12, 1.0, 200.0),
+                ScalingPoint("v1", 12, 60.0, 16e12, 1.3e12, 0.83, 50.0),
+            ]
+        }
+        for metric in ("time", "perf_per_gpu", "perf"):
+            out = scaling_chart(data, metric)
+            assert "#GPUs" in out
+
+    def test_time_chart_includes_ideal(self):
+        from repro.experiments.c65h132 import ScalingPoint
+
+        data = {
+            "v1": [
+                ScalingPoint("v1", 3, 200.0, 5e12, 1.6e12, 1.0, 200.0),
+                ScalingPoint("v1", 12, 60.0, 16e12, 1.3e12, 0.83, 50.0),
+            ]
+        }
+        assert "ideal" in scaling_chart(data, "time")

@@ -1,0 +1,42 @@
+"""Round-trip tests for the npz serialization of matrices and shapes."""
+
+import numpy as np
+
+from repro.sparse import random_block_sparse
+from repro.sparse.io import load_matrix, load_shape, save_matrix, save_shape
+from repro.sparse.random_sparsity import random_shape_with_density
+from repro.tiling import random_tiling
+
+
+def test_matrix_roundtrip(tmp_path):
+    rows = random_tiling(500, 50, 150, seed=0)
+    cols = random_tiling(600, 50, 150, seed=1)
+    m = random_block_sparse(rows, cols, 0.4, seed=2)
+    path = str(tmp_path / "mat.npz")
+    save_matrix(path, m)
+    back = load_matrix(path)
+    assert back.rows == m.rows and back.cols == m.cols
+    assert back.allclose(m)
+
+
+def test_empty_matrix_roundtrip(tmp_path):
+    from repro.sparse import zeros
+    from repro.tiling import Tiling
+
+    m = zeros(Tiling.from_sizes([2, 3]), Tiling.from_sizes([4]))
+    path = str(tmp_path / "empty.npz")
+    save_matrix(path, m)
+    back = load_matrix(path)
+    assert back.nnz_tiles == 0
+    assert back.rows == m.rows
+
+
+def test_shape_roundtrip(tmp_path):
+    rows = random_tiling(500, 50, 150, seed=3)
+    cols = random_tiling(600, 50, 150, seed=4)
+    s = random_shape_with_density(rows, cols, 0.3, seed=5)
+    path = str(tmp_path / "shape.npz")
+    save_shape(path, s)
+    back = load_shape(path)
+    assert back == s
+    assert np.allclose(back.csr.toarray(), s.csr.toarray())

@@ -1,0 +1,142 @@
+"""Tests for clustered low-rank (CLR) tile compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import random_block_sparse
+from repro.sparse.lowrank import (
+    ClrMatrix,
+    LowRankTile,
+    clr_flops,
+    clr_gemm,
+    compress_tile,
+)
+from repro.tiling import Tiling, random_tiling
+
+
+def decaying_matrix(m, n, decay=0.5, seed=0):
+    """A matrix with geometric singular-value decay (compressible)."""
+    rng = np.random.default_rng(seed)
+    r = min(m, n)
+    u, _ = np.linalg.qr(rng.standard_normal((m, r)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, r)))
+    s = decay ** np.arange(r)
+    return (u * s) @ v.T
+
+
+class TestCompressTile:
+    def test_error_within_tolerance(self):
+        data = decaying_matrix(40, 30)
+        for tol in (1e-1, 1e-3, 1e-6):
+            t = compress_tile(data, tol, only_if_smaller=False)
+            assert isinstance(t, LowRankTile)
+            assert np.linalg.norm(data - t.to_dense()) <= tol * 1.0001
+
+    def test_rank_grows_as_tol_shrinks(self):
+        data = decaying_matrix(40, 30)
+        ranks = []
+        for tol in (1e-1, 1e-4, 1e-8):
+            t = compress_tile(data, tol, only_if_smaller=False)
+            ranks.append(t.rank)
+        assert ranks[0] < ranks[1] < ranks[2]
+
+    def test_incompressible_tile_stays_dense(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((20, 20))  # flat spectrum
+        t = compress_tile(data, 1e-12)
+        assert isinstance(t, np.ndarray)
+
+    def test_zero_tolerance_exact(self):
+        data = decaying_matrix(10, 8)
+        t = compress_tile(data, 0.0, only_if_smaller=False)
+        dense = t.to_dense() if isinstance(t, LowRankTile) else t
+        assert np.allclose(dense, data)
+
+    def test_rank_zero_tile(self):
+        data = 1e-12 * np.ones((5, 7))
+        t = compress_tile(data, 1e-3, only_if_smaller=False)
+        assert isinstance(t, LowRankTile) and t.rank == 0
+        assert t.to_dense().shape == (5, 7)
+        assert np.all(t.to_dense() == 0)
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            compress_tile(np.ones((2, 2)), -1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.floats(min_value=1e-6, max_value=1.0))
+    def test_property_error_bound(self, seed, tol):
+        data = decaying_matrix(15, 12, seed=seed)
+        t = compress_tile(data, tol, only_if_smaller=False)
+        dense = t.to_dense() if isinstance(t, LowRankTile) else t
+        assert np.linalg.norm(data - dense) <= tol * 1.0001
+
+
+class TestClrMatrix:
+    def _compressible(self, seed=0, decay=0.3, tile=60):
+        rows = Tiling.uniform(4 * tile, tile)
+        cols = Tiling.uniform(4 * tile, tile)
+        from repro.sparse import BlockSparseMatrix
+
+        m = BlockSparseMatrix(rows, cols)
+        rng = np.random.default_rng(seed)
+        for i in range(rows.ntiles):
+            for j in range(cols.ntiles):
+                if rng.uniform() < 0.6:
+                    m.set_tile(i, j, decaying_matrix(tile, tile, decay=decay, seed=seed + i * 7 + j))
+        return m
+
+    def test_compression_saves_memory(self):
+        m = self._compressible()
+        clr = ClrMatrix.compress(m, tol=1e-6)
+        assert clr.nbytes < m.nbytes
+        assert clr.compression_ratio() > 1.5
+        assert clr.average_rank() < 30
+
+    def test_roundtrip_within_tol(self):
+        m = self._compressible(seed=3)
+        tol = 1e-6
+        clr = ClrMatrix.compress(m, tol)
+        back = clr.to_block_sparse()
+        for key, tile in m.items():
+            assert np.linalg.norm(tile - back.get_tile(*key)) <= tol * 1.0001
+
+    def test_gemm_matches_dense_reference(self):
+        a = self._compressible(seed=5)
+        b = self._compressible(seed=6)
+        tol = 1e-9
+        clr_a = ClrMatrix.compress(a, tol)
+        clr_b = ClrMatrix.compress(b, tol)
+        c = clr_gemm(clr_a, clr_b)
+        ref = a.to_dense() @ b.to_dense()
+        assert np.allclose(c.to_dense(), ref, atol=1e-5)
+
+    def test_gemm_mixed_dense_and_lowrank(self):
+        # Incompressible A (dense tiles) against compressible B.
+        rows = random_tiling(90, 20, 40, seed=1)
+        a = random_block_sparse(rows, rows, 0.7, seed=2)  # flat spectra
+        b_plain = random_block_sparse(rows, rows, 0.7, seed=3)
+        clr_a = ClrMatrix.compress(a, tol=1e-12)  # mostly dense tiles
+        clr_b = ClrMatrix.compress(b_plain, tol=1e-9)
+        c = clr_gemm(clr_a, clr_b)
+        ref = a.to_dense() @ b_plain.to_dense()
+        assert np.allclose(c.to_dense(), ref, atol=1e-5)
+
+    def test_clr_flops_below_dense_flops(self):
+        a = self._compressible(seed=7)
+        clr = ClrMatrix.compress(a, tol=1e-6)
+        dense_flops = sum(
+            2.0 * 60 * 60 * 60
+            for (i, k) in clr.tiles
+            for (k2, j) in clr.tiles
+            if k2 == k
+        )
+        assert clr_flops(clr, clr) < dense_flops
+
+    def test_gemm_nonconforming(self):
+        a = ClrMatrix(Tiling.single(3), Tiling.single(4))
+        b = ClrMatrix(Tiling.single(5), Tiling.single(6))
+        with pytest.raises(ValueError):
+            clr_gemm(a, b)

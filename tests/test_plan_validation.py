@@ -1,0 +1,79 @@
+"""Mutation tests: the plan validator must catch corrupted plans.
+
+`ExecutionPlan.validate()` guards the invariants every executor relies
+on; these tests tamper with healthy plans and assert the validator
+actually trips — a validator that never fires is no validator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import inspect
+from repro.machine import summit
+from repro.sparse import random_shape_with_density
+from repro.tiling import random_tiling
+
+
+@pytest.fixture()
+def plan():
+    rows = random_tiling(600, 40, 160, seed=0)
+    inner = random_tiling(3000, 40, 160, seed=1)
+    a = random_shape_with_density(rows, inner, 0.5, seed=2)
+    b = random_shape_with_density(inner, inner, 0.5, seed=3)
+    return inspect(a, b, summit(2), p=2, gpus_per_proc=3)
+
+
+class TestValidatorTrips:
+    def test_healthy_plan_passes(self, plan):
+        plan.validate()
+
+    def test_detects_missing_column(self, plan):
+        proc = next(p for p in plan.procs if p.columns.size > 0)
+        proc.columns = proc.columns[1:]
+        with pytest.raises(AssertionError, match="partitioned"):
+            plan.validate()
+
+    def test_detects_duplicated_column(self, plan):
+        proc = next(p for p in plan.procs if p.columns.size > 0)
+        proc.columns = np.concatenate((proc.columns, proc.columns[:1]))
+        with pytest.raises(AssertionError, match="partitioned"):
+            plan.validate()
+
+    def test_detects_block_over_budget(self, plan):
+        blk = next(
+            b for p in plan.procs for b in p.blocks if len(b.columns) > 1
+        )
+        blk.b_bytes = int(plan.gpu_memory_bytes * 0.96)
+        with pytest.raises(AssertionError):
+            plan.validate()
+
+    def test_detects_oversized_chunk(self, plan):
+        ch = next(
+            c
+            for p in plan.procs
+            for b in p.blocks
+            for c in b.chunks
+            if c.ntiles > 1
+        )
+        ch.a_bytes = int(plan.gpu_memory_bytes * 0.9)
+        with pytest.raises(AssertionError):
+            plan.validate()
+
+
+class TestPlanAccessors:
+    def test_gpu_blocks_partition_blocks(self, plan):
+        for proc in plan.procs:
+            seen = []
+            for g in range(plan.grid.gpus_per_proc):
+                seen.extend(id(b) for b in proc.gpu_blocks(g))
+            assert sorted(seen) == sorted(id(b) for b in proc.blocks)
+
+    def test_block_a_bytes_sums_chunks(self, plan):
+        for proc in plan.procs:
+            for blk in proc.blocks:
+                assert blk.a_bytes == sum(c.a_bytes for c in blk.chunks)
+
+    def test_proc_totals_sum_blocks(self, plan):
+        for proc in plan.procs:
+            assert proc.ntasks == sum(b.ntasks for b in proc.blocks)
+            assert proc.flops == pytest.approx(sum(b.flops for b in proc.blocks))

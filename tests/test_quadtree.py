@@ -1,0 +1,143 @@
+"""Tests for the quad-tree representation and Z-order distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import psgemm_plan
+from repro.machine import summit
+from repro.sparse import SparseShape, random_shape_with_density
+from repro.sparse.quadtree import (
+    QuadTree,
+    distribution_traffic,
+    morton_order,
+    zorder_owners,
+)
+from repro.tiling import Tiling, random_tiling
+
+
+def banded_shape(n=64, band=6):
+    t = Tiling.uniform(n * 8, 8)
+    mask = np.zeros((n, n))
+    for i in range(n):
+        lo, hi = max(0, i - band), min(n, i + band + 1)
+        mask[i, lo:hi] = 1.0
+    return SparseShape(t, t, mask)
+
+
+class TestQuadTree:
+    def test_preserves_all_tiles(self):
+        s = banded_shape()
+        qt = QuadTree(s, leaf_tiles=8)
+        assert qt.nnz_tiles == s.nnz_tiles
+        # Every nonzero tile appears in exactly one leaf.
+        counted = sum(l.tile_idx.size for l in qt.leaves())
+        assert counted == s.nnz_tiles
+
+    def test_leaves_within_bounds(self):
+        s = banded_shape()
+        qt = QuadTree(s, leaf_tiles=4)
+        ii, jj = s.nonzero_tiles()
+        for leaf in qt.leaves():
+            if leaf.tile_idx.size == 0:
+                continue
+            li, lj = ii[leaf.tile_idx], jj[leaf.tile_idx]
+            assert li.min() >= leaf.row_lo and li.max() < leaf.row_hi
+            assert lj.min() >= leaf.col_lo and lj.max() < leaf.col_hi
+
+    def test_empty_quadrants_pruned(self):
+        s = banded_shape(band=2)  # very narrow band
+        qt = QuadTree(s, leaf_tiles=4)
+        assert qt.occupancy_savings() > 0.5
+
+    def test_full_shape_no_savings(self):
+        t = Tiling.uniform(64, 8)
+        s = SparseShape.full(t, t)
+        qt = QuadTree(s, leaf_tiles=2)
+        assert qt.occupancy_savings() == pytest.approx(0.0)
+
+    def test_depth_scales_with_grid(self):
+        small = QuadTree(banded_shape(n=16), leaf_tiles=2)
+        big = QuadTree(banded_shape(n=128), leaf_tiles=2)
+        assert big.depth() > small.depth()
+
+    def test_leaf_size_respected(self):
+        qt = QuadTree(banded_shape(), leaf_tiles=4)
+        for leaf in qt.leaves():
+            span = max(leaf.row_hi - leaf.row_lo, leaf.col_hi - leaf.col_lo)
+            assert span <= 4 or leaf.tile_idx.size == 0
+
+    def test_empty_shape(self):
+        t = Tiling.uniform(32, 8)
+        qt = QuadTree(SparseShape.empty(t, t))
+        assert qt.nnz_tiles == 0
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            QuadTree(banded_shape(), leaf_tiles=0)
+
+
+class TestMorton:
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        ii = rng.integers(0, 100, 500)
+        jj = rng.integers(0, 100, 500)
+        order = morton_order(ii, jj)
+        assert sorted(order.tolist()) == list(range(500))
+
+    def test_locality_of_z_curve(self):
+        # Consecutive tiles along the curve are spatially close on average.
+        n = 32
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        ii, jj = ii.ravel(), jj.ravel()
+        order = morton_order(ii, jj)
+        d = np.abs(np.diff(ii[order])) + np.abs(np.diff(jj[order]))
+        assert d.mean() < 3.0  # row-major order would average ~2 + long jumps
+
+    def test_zorder_owners_balanced(self):
+        rng = np.random.default_rng(1)
+        ii = rng.integers(0, 64, 1000)
+        jj = rng.integers(0, 64, 1000)
+        owners = zorder_owners(ii, jj, 8)
+        counts = np.bincount(owners, minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestDistributionTraffic:
+    def _plan(self):
+        rows = random_tiling(900, 50, 200, seed=0)
+        inner = random_tiling(4500, 50, 200, seed=1)
+        a = random_shape_with_density(rows, inner, 0.5, seed=2)
+        b = random_shape_with_density(inner, inner, 0.5, seed=3)
+        return psgemm_plan(a, b, summit(4), p=1)
+
+    def test_cyclic_owner_matches_plan_volumes(self):
+        plan = self._plan()
+        grid = plan.grid
+
+        def cyclic(ii, kk):
+            return (np.asarray(ii) % grid.p) * grid.q + (np.asarray(kk) % grid.q)
+
+        got = distribution_traffic(plan, cyclic)
+        assert got == sum(p.a_recv_bytes for p in plan.procs)
+
+    def test_extreme_owner_maps_bound_traffic(self):
+        plan = self._plan()
+        # Owner -1 matches no consumer: every needed byte crosses the net.
+        nowhere = lambda ii, kk: np.full(np.asarray(ii).shape, -1)  # noqa: E731
+        total_a = sum(
+            int(
+                np.sum(
+                    plan.a_shape.rows.sizes[p.a_needed_rows]
+                    * plan.a_shape.cols.sizes[p.a_needed_cols]
+                    * 8
+                )
+            )
+            for p in plan.procs
+        )
+        assert distribution_traffic(plan, nowhere) == total_a
+        # Any real owner map moves strictly less.
+        grid = plan.grid
+        cyclic = lambda ii, kk: (np.asarray(ii) % grid.p) * grid.q + (  # noqa: E731
+            np.asarray(kk) % grid.q
+        )
+        assert distribution_traffic(plan, cyclic) < total_a

@@ -1,0 +1,58 @@
+"""Tests for the CCSD doubles-term cost models."""
+
+import pytest
+
+from repro.chem import TilingVariant, alkane, build_abcd_problem
+from repro.chem.terms import TermCost, abcd_work_fraction, doubles_term_costs
+
+
+@pytest.fixture(scope="module")
+def small():
+    return build_abcd_problem(alkane(12), TilingVariant("t", 4, 10), seed=0)
+
+
+class TestDoublesTerms:
+    def test_four_terms_default(self, small):
+        costs = doubles_term_costs(small)
+        assert len(costs) == 4
+        assert costs[0].name.startswith("pp-ladder")
+        assert all(isinstance(c, TermCost) for c in costs)
+
+    def test_ring_cases_parameter(self, small):
+        assert len(doubles_term_costs(small, ring_cases=1)) == 3
+        assert len(doubles_term_costs(small, ring_cases=3)) == 5
+
+    def test_positive_costs(self, small):
+        for c in doubles_term_costs(small):
+            assert c.flops > 0
+            assert c.tasks > 0
+
+    def test_inner_extents(self, small):
+        costs = doubles_term_costs(small)
+        O, U = small.O, small.U
+        assert costs[0].inner_extent == U**2
+        assert costs[1].inner_extent == O**2
+        assert costs[2].inner_extent == O * U
+
+    def test_abcd_matches_problem_shapes(self, small):
+        from repro.sparse.shape_algebra import gemm_flops
+
+        costs = doubles_term_costs(small)
+        assert costs[0].flops == pytest.approx(
+            gemm_flops(small.t_shape, small.v_shape)
+        )
+
+    def test_hh_ladder_much_cheaper(self, small):
+        costs = doubles_term_costs(small)
+        # Inner dim O^2 vs U^2: the hh ladder is a small correction.
+        assert costs[1].flops < 0.25 * costs[0].flops
+
+    def test_fraction_between_zero_and_one(self, small):
+        frac = abcd_work_fraction(small)
+        assert 0 < frac < 1
+
+    def test_abcd_share_grows_with_u_over_o(self):
+        # Longer chains have larger U/O leverage for the pp ladder.
+        short = build_abcd_problem(alkane(8), TilingVariant("s", 3, 6), seed=0)
+        longer = build_abcd_problem(alkane(20), TilingVariant("l", 4, 12), seed=0)
+        assert abcd_work_fraction(longer) > abcd_work_fraction(short) - 0.05
