@@ -1,12 +1,17 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper examples export selftest clean
+.PHONY: install test test-dist bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# The full multi-process executor suite (fault injection, 4-worker grids,
+# CLI round-trips); budgeted at 120 s so a hung worker can never wedge CI.
+test-dist:
+	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

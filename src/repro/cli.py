@@ -105,6 +105,33 @@ def _cmd_selftest(args) -> int:
     from repro.sparse import random_block_sparse
     from repro.tiling import random_tiling
 
+    if args.procs:
+        # Multi-process path: N worker processes (p = N grid rows of one
+        # process each), crosschecked bit-for-bit against the serial
+        # executor and against the dense reference.
+        from repro.core import psgemm_distributed
+        from repro.dist import FaultPlan
+
+        fault_plan = (
+            FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+        )
+        rows = random_tiling(400, 30, 120, seed=args.seed)
+        inner = random_tiling(1200, 30, 120, seed=args.seed + 1)
+        a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
+        b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
+        machine = summit(args.procs)
+        c_serial, _ = psgemm_numeric(a, b, machine, p=args.procs)
+        c_dist, report = psgemm_distributed(
+            a, b, machine, p=args.procs, fault_plan=fault_plan
+        )
+        exact = np.array_equal(c_dist.to_dense(), c_serial.to_dense())
+        ok = exact and np.allclose(c_dist.to_dense(), a.to_dense() @ b.to_dense())
+        print(f"distributed executor ran {report.summary()}")
+        print(f"per-rank tasks: {dict(sorted(report.stats.per_proc_tasks.items()))}")
+        print(f"matches serial executor bit-for-bit: {exact}; "
+              f"matches dense reference: {ok}")
+        return 0 if ok else 1
+
     rows = random_tiling(600, 40, 160, seed=args.seed)
     inner = random_tiling(3000, 40, 160, seed=args.seed + 1)
     a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
@@ -163,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("selftest", help="numeric end-to-end check")
     st.add_argument("--deep", action="store_true",
                     help="cross-validate all three executors (numeric, DES, analytic)")
+    st.add_argument("--procs", type=int, metavar="N",
+                    help="run the plan across N real worker processes and "
+                         "crosscheck bit-for-bit against the serial executor")
+    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay]",
+                    help="with --procs: sabotage worker RANK after TASK GEMM "
+                         "tasks and verify the retry/reassign recovery still "
+                         "produces the exact result")
     st.set_defaults(func=_cmd_selftest)
 
     ex = sub.add_parser("export", help="dump all experiment data as JSON")

@@ -27,7 +27,7 @@ from repro.core.block_partition import partition_columns_into_blocks
 from repro.core.inspector import inspect
 from repro.core.comm_model import CommReport, communication_volumes, worst_case_volumes
 from repro.core.analytic import SimReport, simulate
-from repro.core.psgemm import psgemm_numeric, psgemm_plan, psgemm_simulate
+from repro.core.psgemm import psgemm_distributed, psgemm_numeric, psgemm_plan, psgemm_simulate
 from repro.core.autotune import tune_grid_rows
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "SimReport",
     "simulate",
     "psgemm_plan",
+    "psgemm_distributed",
     "psgemm_numeric",
     "psgemm_simulate",
     "tune_grid_rows",

@@ -92,3 +92,52 @@ def psgemm_numeric(
         options=options,
     )
     return execute_plan(plan, a, b, c=c, alpha=alpha, beta=beta)
+
+
+def psgemm_distributed(
+    a: BlockSparseMatrix,
+    b,
+    machine: MachineSpec,
+    c: BlockSparseMatrix | None = None,
+    p: int = 1,
+    gpus_per_proc: int | None = None,
+    options: PlanOptions | None = None,
+    b_shape: SparseShape | None = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    **dist_kwargs,
+):
+    """Execute ``C <- beta*C + alpha*A @ B`` across real worker processes.
+
+    The multi-process twin of :func:`psgemm_numeric`: the same inspector
+    produces the plan, but :func:`repro.dist.execute_plan_distributed`
+    runs it with one worker process per planned rank (shared-memory tiles,
+    on-demand B service, prefetch overlap, fault recovery).  The result is
+    bit-for-bit identical to :func:`psgemm_numeric` for the same seeds —
+    the serial executor is the crosscheck oracle.
+
+    Extra keyword arguments (``fault_plan``, ``max_retries``,
+    ``allow_reassign``, ``timeout``) pass through to the coordinator.
+
+    Returns
+    -------
+    ``(c, report)`` where ``report`` is a
+    :class:`repro.dist.DistReport` (merged :class:`NumericStats` in
+    ``report.stats``, plus per-link comm bytes, per-rank trace events,
+    and recovery bookkeeping).
+    """
+    from repro.dist import execute_plan_distributed  # late import: avoid cycle
+
+    if b_shape is None:
+        b_shape = b.sparse_shape()
+    plan = psgemm_plan(
+        a.sparse_shape(with_norms=options.screen_threshold is not None if options else False),
+        b_shape,
+        machine,
+        p=p,
+        gpus_per_proc=gpus_per_proc,
+        options=options,
+    )
+    return execute_plan_distributed(
+        plan, a, b, c=c, alpha=alpha, beta=beta, **dist_kwargs
+    )

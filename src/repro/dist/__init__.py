@@ -1,0 +1,47 @@
+"""A real multi-process distributed executor for execution plans.
+
+The rest of the repository *models* the paper's distributed runtime; this
+package *runs* it: one Python worker process per planned rank, shared-
+memory tile arenas for zero-copy A/B/C traffic, a message fabric with
+per-link byte counters mirroring :mod:`repro.core.comm_model`, an
+on-demand per-rank B service with an LRU byte budget, prefetch/compute
+overlap inside every worker, and a coordinator with fault recovery
+(retry-once-then-reassign).  The serial executor
+(:func:`repro.runtime.numeric.execute_plan`) is the bit-for-bit crosscheck
+oracle: same plan, same seeds, identical C.
+
+* :mod:`~repro.dist.tile_store` — shared-memory tile arenas + leak registry;
+* :mod:`~repro.dist.comm` — coordinator/worker queues, per-link byte counts;
+* :mod:`~repro.dist.bservice` — per-rank on-demand B generation under an
+  LRU budget (:class:`~repro.runtime.gpu_memory.GpuMemory` semantics);
+* :mod:`~repro.dist.worker` — the per-rank process with double-buffered
+  chunk prefetch and fault hooks;
+* :mod:`~repro.dist.coordinator` — scatter / supervise / reduce / clean up;
+* :mod:`~repro.dist.faults` — kill/delay fault plans for recovery tests.
+"""
+
+from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Endpoint
+from repro.dist.coordinator import DistExecutionError, DistReport, execute_plan_distributed
+from repro.dist.faults import FaultInjection, FaultPlan
+from repro.dist.tile_store import ArenaMeta, TileArena, active_segments
+from repro.dist.worker import ScatterMsg, WorkerReport
+
+__all__ = [
+    "ArenaBSource",
+    "ArenaMeta",
+    "BService",
+    "COORDINATOR",
+    "CommLayer",
+    "CommStats",
+    "DistExecutionError",
+    "DistReport",
+    "Endpoint",
+    "FaultInjection",
+    "FaultPlan",
+    "ScatterMsg",
+    "TileArena",
+    "WorkerReport",
+    "active_segments",
+    "execute_plan_distributed",
+]

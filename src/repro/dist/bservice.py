@@ -1,0 +1,118 @@
+"""Per-rank B tile service: on-demand generation under an LRU byte budget.
+
+The paper's B is never stored globally — "generation functions allow to
+instantiate any tile when needed", each tile "at most once per node".  In
+the multi-process executor every worker owns a :class:`BService` for its
+rank.  Two backings exist:
+
+* **generated** — tiles are produced by a
+  :class:`~repro.runtime.data.GeneratedCollection` equal-state copy the
+  coordinator shipped in the scatter (values depend only on
+  ``(seed, tile id)``, so every attempt of every rank sees identical
+  bytes), and cached under an LRU byte budget enforced through
+  :class:`~repro.runtime.gpu_memory.GpuMemory` reservations — the same
+  accounting discipline the block/chunk residency uses;
+* **arena** — a concrete B operand lives in the coordinator's shared-memory
+  arena and tiles are zero-copy views (nothing to cache or evict, but
+  distinct-tile pulls are still counted so stats match the serial
+  :class:`~repro.runtime.data.MatrixSource` accounting).
+
+The executor evicts a block's tiles at the end of the block's life-cycle,
+and the plan guarantees each tile is needed by exactly one block per rank,
+so the LRU never has to evict a tile that will be needed again: the
+"instantiated at most once per rank" invariant survives (and is asserted in
+the tests via :meth:`BService.max_instantiations`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+
+import numpy as np
+
+from repro.runtime.gpu_memory import GpuMemory
+
+
+class BService:
+    """On-demand B tiles for one rank, LRU-cached under a byte budget.
+
+    Implements the :class:`~repro.runtime.data.TileSource` protocol (plus
+    ``evict``) so it drops into :func:`repro.runtime.numeric.execute_proc_plan`
+    unchanged.
+    """
+
+    def __init__(self, collection, budget_bytes: int):
+        self._col = collection
+        self._mem = GpuMemory(budget_bytes)
+        self._lru: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self.instantiations: Counter = Counter()
+        self.lru_evictions = 0
+
+    def has_tile(self, k: int, j: int) -> bool:
+        return self._col.has_tile(k, j)
+
+    def tile_nbytes(self, k: int, j: int) -> int:
+        return self._col.tile_nbytes(k, j)
+
+    def tile(self, proc: int, k: int, j: int) -> np.ndarray:
+        key = (k, j)
+        hit = self._lru.get(key)
+        if hit is not None:
+            self._lru.move_to_end(key)
+            return hit
+        data = self._col.generate_tile(k, j)
+        self.instantiations[key] += 1
+        # Make room: shed least-recently-used tiles until the budget fits.
+        while self._lru and self._mem.free < data.nbytes:
+            old, _ = self._lru.popitem(last=False)
+            self._mem.release(f"b{old}")
+            self.lru_evictions += 1
+        self._mem.reserve(f"b{key}", data.nbytes)
+        self._lru[key] = data
+        return data
+
+    def evict(self, proc: int, k: int, j: int) -> None:
+        """End-of-block-life-cycle eviction (mirrors the serial executor)."""
+        if self._lru.pop((k, j), None) is not None:
+            self._mem.release(f"b{(k, j)}")
+
+    def generated_tiles(self) -> int:
+        """Total tile instantiations on this rank."""
+        return sum(self.instantiations.values())
+
+    def max_instantiations(self) -> int:
+        """The paper's invariant: must be 1 after any fault-free run."""
+        return max(self.instantiations.values(), default=0)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._mem.used
+
+
+class ArenaBSource:
+    """A concrete B operand read zero-copy from a shared-memory arena.
+
+    Counts distinct tile pulls per rank so the merged
+    ``b_tiles_generated`` statistic equals the serial executor's
+    ``len(MatrixSource.access_counts)``.
+    """
+
+    def __init__(self, arena):
+        self._arena = arena
+        self._pulled: set[tuple[int, int]] = set()
+
+    def has_tile(self, k: int, j: int) -> bool:
+        return (k, j) in self._arena
+
+    def tile_nbytes(self, k: int, j: int) -> int:
+        return self._arena.meta().tile_nbytes((k, j))
+
+    def tile(self, proc: int, k: int, j: int) -> np.ndarray:
+        self._pulled.add((k, j))
+        return self._arena.get((k, j))
+
+    def generated_tiles(self) -> int:
+        return len(self._pulled)
+
+    def max_instantiations(self) -> int:
+        return 1 if self._pulled else 0

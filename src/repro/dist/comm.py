@@ -1,0 +1,122 @@
+"""Message-based communication layer for the multi-process executor.
+
+The fabric models the paper's ``p x q`` grid plus a coordinator: one inbox
+queue per worker rank (the coordinator scatters plans into them) and one
+shared gather queue back to the coordinator.  Every message is pickled by
+the sending :class:`Endpoint`, which counts the bytes per directed link
+``(src, dst)`` — the executor's observable analogue of the exact volumes
+:mod:`repro.core.comm_model` derives from the plan.  Workers additionally
+model the grid-row A broadcast: each A tile they need but do not own under
+the 2D-cyclic placement is charged to the ``owner -> rank`` link, which
+reproduces the inspector's ``a_recv_bytes`` per process exactly (the tests
+assert this).
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as _queue
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.util.units import fmt_bytes
+
+#: The coordinator's rank in link keys (workers are ``0..nprocs-1``).
+COORDINATOR = -1
+
+
+@dataclass
+class Endpoint:
+    """One process's port into the fabric.
+
+    Workers receive from their own inbox and send to the coordinator; the
+    coordinator (rank :data:`COORDINATOR`) sends into any inbox and
+    receives from the shared gather queue.  ``link_bytes`` counts pickled
+    payload bytes per ``(src, dst)`` link on the *sending* side; receive
+    sizes are returned so the coordinator can account worker->coordinator
+    links (a worker cannot count a report that contains its own counters).
+    """
+
+    rank: int
+    inboxes: list
+    gather: object
+    link_bytes: Counter = field(default_factory=Counter)
+    messages: Counter = field(default_factory=Counter)
+
+    def send(self, dst: int, msg) -> int:
+        blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        self.link_bytes[(self.rank, dst)] += len(blob)
+        self.messages[(self.rank, dst)] += 1
+        target = self.gather if dst == COORDINATOR else self.inboxes[dst]
+        target.put((self.rank, blob))
+        return len(blob)
+
+    def recv(self, timeout: float | None = None):
+        """Blocking receive; returns ``(src, msg, nbytes)``.
+
+        Raises :class:`queue.Empty` on timeout.
+        """
+        source = self.gather if self.rank == COORDINATOR else self.inboxes[self.rank]
+        src, blob = source.get(timeout=timeout)
+        return src, pickle.loads(blob), len(blob)
+
+
+class CommLayer:
+    """The queue fabric for one distributed run (created by the coordinator)."""
+
+    def __init__(self, nranks: int, ctx):
+        self.nranks = nranks
+        self._inboxes = [ctx.Queue() for _ in range(nranks)]
+        self._gather = ctx.Queue()
+
+    def endpoint(self, rank: int) -> Endpoint:
+        return Endpoint(rank=rank, inboxes=self._inboxes, gather=self._gather)
+
+    def close(self) -> None:
+        for q in [*self._inboxes, self._gather]:
+            q.close()
+            q.join_thread()
+
+
+Empty = _queue.Empty
+
+
+@dataclass
+class CommStats:
+    """Merged per-link traffic of one run (bytes and message counts).
+
+    ``link_bytes`` keys are ``(src, dst)`` ranks with :data:`COORDINATOR`
+    for the coordinator; worker->worker keys carry the *modeled* grid-row A
+    broadcast, coordinator links carry actual pickled queue traffic.
+    """
+
+    link_bytes: Counter = field(default_factory=Counter)
+    messages: Counter = field(default_factory=Counter)
+
+    def absorb(self, link_bytes, messages=None) -> None:
+        self.link_bytes.update(link_bytes)
+        if messages:
+            self.messages.update(messages)
+
+    def scatter_bytes(self) -> int:
+        """Coordinator -> workers (plan scatter) bytes."""
+        return sum(v for (s, _), v in self.link_bytes.items() if s == COORDINATOR)
+
+    def gather_bytes(self) -> int:
+        """Workers -> coordinator (C index + stats reports) bytes."""
+        return sum(v for (_, d), v in self.link_bytes.items() if d == COORDINATOR)
+
+    def a_broadcast_bytes(self) -> int:
+        """Modeled worker<->worker A traffic (grid-row broadcast)."""
+        return sum(
+            v for (s, d), v in self.link_bytes.items()
+            if s != COORDINATOR and d != COORDINATOR
+        )
+
+    def summary(self) -> str:
+        return (
+            f"scatter {fmt_bytes(self.scatter_bytes())}, "
+            f"gather {fmt_bytes(self.gather_bytes())}, "
+            f"A broadcast {fmt_bytes(self.a_broadcast_bytes())} "
+            f"over {len(self.link_bytes)} links"
+        )

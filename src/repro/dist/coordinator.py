@@ -1,0 +1,336 @@
+"""The coordinator: scatter the plan, supervise workers, reduce C.
+
+:func:`execute_plan_distributed` is the multi-process twin of
+:func:`repro.runtime.numeric.execute_plan`: same signature semantics, same
+result *bit for bit* (each rank runs the identical per-process body, and
+the reduction applies the identical ``beta*C`` seeding and one-producer
+accumulation).  The serial executor is therefore the crosscheck oracle for
+this one.
+
+Responsibilities:
+
+* **scatter** — pack A (and a concrete B) into shared-memory arenas, ship
+  each rank its :class:`~repro.dist.worker.ScatterMsg` through the
+  :class:`~repro.dist.comm.CommLayer` (bytes counted per link);
+* **supervise** — gather reports; a worker that exits without reporting
+  (crash, kill fault) or reports an error is *retried once* in a fresh
+  process, and if that attempt also fails its blocks are *reassigned* to a
+  coordinator-local spare worker, so a single faulty rank cannot lose the
+  contraction;
+* **reduce** — seed ``beta*C``, copy every rank's C tiles out of its
+  output arena enforcing the one-producer-per-tile invariant, and merge
+  per-rank :class:`~repro.runtime.numeric.NumericStats` via
+  :meth:`NumericStats.merge`;
+* **clean up** — terminate stragglers and unlink every shared-memory
+  segment in a ``finally``, success or not (the leak tests attach-probe
+  every name afterwards).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+
+from repro.core.plan import ExecutionPlan
+from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Empty
+from repro.dist.faults import FaultPlan
+from repro.dist.tile_store import TileArena
+from repro.dist.worker import ScatterMsg, WorkerReport, modeled_a_link_bytes, worker_main
+from repro.runtime.data import GeneratedCollection, MatrixSource
+from repro.runtime.numeric import NumericStats, execute_proc_plan
+from repro.runtime.tracing import Trace
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.util.validation import require
+
+#: Seconds a vanished worker gets to flush a late report before the
+#: coordinator declares it dead.
+_GRACE_SECONDS = 1.0
+
+
+class DistExecutionError(RuntimeError):
+    """The distributed run could not complete (even after recovery)."""
+
+
+@dataclass
+class DistReport:
+    """Everything observed about one distributed run."""
+
+    stats: NumericStats
+    trace: Trace
+    comm: CommStats
+    attempts: dict[int, int]
+    reassigned: list[int]
+    segments: list[str]
+    b_max_instantiations: int = 0
+    nworkers: int = 0
+
+    def summary(self) -> str:
+        retried = {r: a for r, a in self.attempts.items() if a > 1}
+        return (
+            f"{self.nworkers} workers, {self.stats.ntasks} tasks, "
+            f"comm: {self.comm.summary()}"
+            + (f", retried {sorted(retried)}" if retried else "")
+            + (f", reassigned {sorted(self.reassigned)}" if self.reassigned else "")
+        )
+
+
+def _start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def execute_plan_distributed(
+    plan: ExecutionPlan,
+    a: BlockSparseMatrix,
+    b,
+    c: BlockSparseMatrix | None = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    *,
+    fault_plan: FaultPlan | None = None,
+    max_retries: int = 1,
+    allow_reassign: bool = True,
+    timeout: float = 120.0,
+    start_method: str | None = None,
+) -> tuple[BlockSparseMatrix, DistReport]:
+    """Run the plan across one real worker process per planned rank.
+
+    Returns ``(C, report)`` with ``C`` bit-for-bit equal to the serial
+    :func:`~repro.runtime.numeric.execute_plan` result for the same
+    operands and seeds.  ``fault_plan`` sabotages workers for recovery
+    testing; ``max_retries``/``allow_reassign`` tune the recovery policy
+    (retry-once-then-reassign by default).
+    """
+    if isinstance(b, MatrixSource):
+        b = b.matrix
+    require(a.rows == plan.a_shape.rows and a.cols == plan.a_shape.cols, "A tilings differ from plan")
+    require(a.cols == plan.b_shape.rows, "A and B do not conform")
+
+    ctx = mp.get_context(start_method or _start_method())
+    nranks = plan.grid.nprocs
+    comm = CommLayer(nranks, ctx)
+    coord = comm.endpoint(COORDINATOR)
+    comm_stats = CommStats()
+    trace = Trace()
+    t0 = time.time()
+    clock = lambda: time.time() - t0  # noqa: E731 - run-relative wall clock
+
+    arenas: list[TileArena] = []
+    workers: dict[int, mp.Process] = {}
+    try:
+        # ---- pack operands into shared memory -----------------------------
+        a_arena = TileArena.pack("a", a.items())
+        arenas.append(a_arena)
+        a_meta = a_arena.meta()
+
+        b_arena = None
+        if isinstance(b, BlockSparseMatrix):
+            b_arena = TileArena.pack("b", b.items())
+            arenas.append(b_arena)
+            b_spec = ("arena", b_arena.meta())
+        elif isinstance(b, GeneratedCollection):
+            b_spec = ("generated", b.empty_clone())
+        else:
+            raise TypeError(
+                f"distributed execution needs a BlockSparseMatrix or "
+                f"GeneratedCollection B, got {type(b).__name__}"
+            )
+
+        def make_c_arena(rank: int, attempt: int) -> TileArena:
+            cap = sum(blk.c_bytes for blk in plan.procs[rank].blocks)
+            arena = TileArena.allocate(f"c{rank}a{attempt}", cap)
+            arenas.append(arena)
+            return arena
+
+        # ---- scatter ------------------------------------------------------
+        attempts = {rank: 1 for rank in range(nranks)}
+        c_arenas: dict[int, TileArena] = {}
+
+        def scatter(rank: int, attempt: int) -> None:
+            c_arenas[rank] = make_c_arena(rank, attempt)
+            inj = fault_plan.for_rank(rank) if fault_plan is not None else None
+            if inj is not None and not inj.armed(attempt):
+                inj = None
+            msg = ScatterMsg(
+                proc=plan.procs[rank],
+                grid=plan.grid,
+                gpus_per_proc=plan.grid.gpus_per_proc,
+                gpu_memory_bytes=plan.gpu_memory_bytes,
+                b_csr=plan.b_shape.csr,
+                tau=plan.options.screen_threshold,
+                alpha=alpha,
+                a_meta=a_meta,
+                b_spec=b_spec,
+                c_meta=c_arenas[rank].meta(),
+                fault=inj,
+                attempt=attempt,
+                t0=t0,
+            )
+            t_send = clock()
+            coord.send(rank, msg)
+            trace.add(f"scatter.{rank}", f"net.{rank}", t_send, clock())
+
+        def spawn(rank: int) -> None:
+            proc = ctx.Process(
+                target=worker_main, args=(rank, comm.endpoint(rank)), daemon=True
+            )
+            proc.start()
+            workers[rank] = proc
+
+        for rank in range(nranks):
+            spawn(rank)
+            scatter(rank, attempt=0)
+
+        # ---- supervise / gather -------------------------------------------
+        reports: dict[int, WorkerReport] = {}
+        local_results: dict[int, dict] = {}
+        reassigned: list[int] = []
+        pending = set(range(nranks))
+        suspects: dict[int, float] = {}
+        deadline = time.time() + timeout
+
+        def run_inline(rank: int) -> None:
+            """Reassign a twice-failed rank to a coordinator-local worker."""
+            if b_arena is not None:
+                b_local = ArenaBSource(b_arena)
+            else:
+                b_local = BService(b.empty_clone(), budget_bytes=plan.gpu_memory_bytes)
+            events: list = []
+            produced, stats = execute_proc_plan(
+                plan.procs[rank],
+                a.get_tile,
+                b_local,
+                gpus_per_proc=plan.grid.gpus_per_proc,
+                gpu_memory_bytes=plan.gpu_memory_bytes,
+                b_csr=plan.b_shape.csr,
+                tau=plan.options.screen_threshold,
+                alpha=alpha,
+                on_event=lambda task, res, s, e: events.append((task, res, s, e)),
+                clock=clock,
+            )
+            stats.b_tiles_generated = b_local.generated_tiles()
+            local_results[rank] = produced
+            reports[rank] = WorkerReport(
+                rank=rank,
+                attempt=attempts[rank],
+                stats=stats,
+                c_index={},
+                events=events,
+                link_bytes=modeled_a_link_bytes(plan.procs[rank], plan.grid, a_meta),
+                b_max_instantiations=b_local.max_instantiations(),
+            )
+            reassigned.append(rank)
+
+        def on_failure(rank: int, reason: str) -> None:
+            suspects.pop(rank, None)
+            old = workers.pop(rank, None)
+            if old is not None and old.is_alive():  # pragma: no cover - defensive
+                old.terminate()
+                old.join(timeout=1.0)
+            if attempts[rank] <= max_retries:
+                attempts[rank] += 1
+                spawn(rank)
+                scatter(rank, attempt=attempts[rank] - 1)
+            elif allow_reassign:
+                attempts[rank] += 1
+                run_inline(rank)
+                pending.discard(rank)
+            else:
+                raise DistExecutionError(
+                    f"rank {rank} failed after {attempts[rank]} attempt(s): {reason}"
+                )
+
+        while pending:
+            if time.time() > deadline:
+                raise DistExecutionError(
+                    f"distributed run timed out after {timeout:.0f} s "
+                    f"(pending ranks: {sorted(pending)})"
+                )
+            try:
+                src, msg, nbytes = coord.recv(timeout=0.1)
+            except Empty:
+                now = time.time()
+                for rank in sorted(pending):
+                    proc = workers.get(rank)
+                    if proc is not None and proc.exitcode is not None:
+                        first = suspects.setdefault(rank, now)
+                        if now - first >= _GRACE_SECONDS:
+                            on_failure(rank, f"worker exited with code {proc.exitcode}")
+                continue
+            kind, rank = msg[0], msg[1]
+            comm_stats.absorb({(rank, COORDINATOR): nbytes}, {(rank, COORDINATOR): 1})
+            if kind == "done":
+                if rank in pending:
+                    reports[rank] = msg[2]
+                    pending.discard(rank)
+                    suspects.pop(rank, None)
+            elif kind == "error":
+                if rank in pending:
+                    on_failure(rank, msg[2])
+            else:  # pragma: no cover - unknown message kind
+                raise DistExecutionError(f"unexpected message {kind!r} from rank {rank}")
+
+        # ---- reduce -------------------------------------------------------
+        out = BlockSparseMatrix(a.rows, plan.b_shape.cols)
+        if c is not None:
+            require(
+                c.rows == a.rows and c.cols == plan.b_shape.cols,
+                "C tilings do not conform",
+            )
+            for (i, j), tile in c.items():
+                out.set_tile(i, j, beta * tile)
+
+        produced_by: dict[tuple[int, int], int] = {}
+        t_reduce = clock()
+        for rank in range(nranks):
+            report = reports[rank]
+            if rank in local_results:
+                tiles = local_results[rank].items()
+            else:
+                arena = c_arenas[rank]
+                tiles = (
+                    ((i, j), arena.read(entry))
+                    for (i, j), entry in report.c_index.items()
+                )
+            for (i, j), tile in tiles:
+                prev = produced_by.setdefault((i, j), rank)
+                require(
+                    prev == rank,
+                    f"C tile ({i},{j}) produced by two processes ({prev}, {rank})",
+                )
+                out.accumulate_tile(i, j, tile)
+        trace.add("reduce", "net.-1", t_reduce, clock())
+
+        # ---- merge stats / trace / comm -----------------------------------
+        stats = NumericStats.merge([reports[rank].stats for rank in range(nranks)])
+        for rank in range(nranks):
+            for task, resource, start, end in reports[rank].events:
+                trace.add(task, resource, start, end)
+            comm_stats.absorb(reports[rank].link_bytes)
+        comm_stats.absorb(coord.link_bytes, coord.messages)
+
+        dist_report = DistReport(
+            stats=stats,
+            trace=trace,
+            comm=comm_stats,
+            attempts=attempts,
+            reassigned=reassigned,
+            segments=[arena.name for arena in arenas],
+            b_max_instantiations=max(
+                (reports[r].b_max_instantiations for r in range(nranks)), default=0
+            ),
+            nworkers=nranks,
+        )
+        return out, dist_report
+    finally:
+        for proc in workers.values():
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=2.0)
+        for arena in arenas:
+            arena.unlink()
+        try:
+            comm.close()
+        except Exception:  # pragma: no cover - queue teardown is best-effort
+            pass

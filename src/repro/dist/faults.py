@@ -1,0 +1,89 @@
+"""Fault injection for the distributed executor.
+
+A :class:`FaultPlan` tells the coordinator which worker ranks to sabotage
+and how: ``kill`` makes the worker process exit abruptly (``os._exit``,
+no report, no cleanup — the closest a test can get to a crashed MPI rank)
+after executing its *k*-th GEMM task; ``delay`` makes it sleep there.  By
+default a fault fires only on a rank's first attempt (``once=True``), so
+the coordinator's retry-once recovery succeeds; with ``once=False`` the
+fault is persistent and recovery must fall through to reassignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One planned fault on one worker rank.
+
+    Attributes
+    ----------
+    rank:
+        The worker rank to sabotage.
+    at_task:
+        Fire after this many GEMM tasks have executed on the rank
+        (1-based; a count past the rank's task total never fires).
+    kind:
+        ``"kill"`` or ``"delay"``.
+    delay_seconds:
+        Sleep length for ``"delay"``.
+    once:
+        Fire on the first attempt only (retry then succeeds); ``False``
+        fires on every attempt (forcing reassignment).
+    """
+
+    rank: int
+    at_task: int
+    kind: str = "kill"
+    delay_seconds: float = 0.2
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "delay"):
+            raise ValueError(f"unknown fault kind {self.kind!r}; use 'kill' or 'delay'")
+        if self.at_task < 1:
+            raise ValueError("at_task is 1-based and must be >= 1")
+
+    def armed(self, attempt: int) -> bool:
+        """Whether this fault fires on the given (0-based) attempt."""
+        return attempt == 0 or not self.once
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All injections of one run; at most one per rank is honoured."""
+
+    injections: tuple[FaultInjection, ...] = ()
+
+    @classmethod
+    def kill(cls, rank: int, at_task: int, once: bool = True) -> "FaultPlan":
+        return cls((FaultInjection(rank=rank, at_task=at_task, kind="kill", once=once),))
+
+    @classmethod
+    def delay(cls, rank: int, at_task: int, seconds: float = 0.2) -> "FaultPlan":
+        return cls(
+            (FaultInjection(rank=rank, at_task=at_task, kind="delay",
+                            delay_seconds=seconds),)
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI ``RANK:TASK[:kill|delay]`` spec."""
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"bad fault spec {spec!r}; expected RANK:TASK[:kill|delay]")
+        rank, task = int(parts[0]), int(parts[1])
+        kind = parts[2] if len(parts) == 3 else "kill"
+        if kind == "delay":
+            return cls.delay(rank, task)
+        if kind != "kill":
+            raise ValueError(f"bad fault kind {kind!r}; expected kill or delay")
+        return cls.kill(rank, task)
+
+    def for_rank(self, rank: int) -> FaultInjection | None:
+        for inj in self.injections:
+            if inj.rank == rank:
+                return inj
+        return None

@@ -1,0 +1,173 @@
+"""Shared-memory tile arenas: zero-copy A/B/C tiles between processes.
+
+A :class:`TileArena` is one ``multiprocessing.shared_memory`` segment
+holding many dense float64 tiles back to back, plus a small pickle-able
+index ``{key: (offset, m, n)}``.  The coordinator *creates* every arena (A
+and B operands packed up front, one C output arena per worker attempt) and
+is the only process that ever unlinks; workers merely attach and read or
+write through NumPy views, so no tile bytes are ever pickled through a
+queue.  Centralised ownership is what makes the leak discipline testable:
+:func:`active_segments` lists the names the current process has created and
+not yet unlinked, and the coordinator drains it in a ``finally`` even when
+a run fails or a worker is killed mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.util.validation import require
+
+#: Segment names created by *this* process and not yet unlinked.
+_ACTIVE_SEGMENTS: set[str] = set()
+
+_SEQ = 0
+
+
+def active_segments() -> frozenset[str]:
+    """Shared-memory segment names this process currently owns."""
+    return frozenset(_ACTIVE_SEGMENTS)
+
+
+def next_segment_name(tag: str) -> str:
+    """A per-process-unique segment name (``psgemm-<pid>-<seq>-<tag>``)."""
+    global _SEQ
+    _SEQ += 1
+    return f"psgemm-{os.getpid()}-{_SEQ}-{tag}"
+
+
+TileKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ArenaMeta:
+    """Everything a worker needs to attach an arena (sent in the scatter)."""
+
+    name: str
+    size: int
+    index: dict[TileKey, tuple[int, int, int]] = field(default_factory=dict)
+
+    def tile_nbytes(self, key: TileKey) -> int:
+        _, m, n = self.index[key]
+        return m * n * 8
+
+
+class TileArena:
+    """One shared-memory segment holding many dense tiles.
+
+    Use :meth:`pack` (create + fill from tiles), :meth:`allocate` (create
+    an empty writable arena for C output), or :meth:`attach` (map an
+    existing segment in a worker).  ``get`` returns zero-copy read-only
+    NumPy views; ``put`` appends a tile and records it in the index.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, meta: ArenaMeta, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.name = meta.name
+        self.size = meta.size
+        self.index: dict[TileKey, tuple[int, int, int]] = dict(meta.index)
+        self._cursor = max(
+            (off + m * n * 8 for off, m, n in self.index.values()), default=0
+        )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def pack(cls, tag: str, tiles) -> "TileArena":
+        """Create a segment sized for ``tiles`` (``(key, ndarray)`` pairs)
+        and copy every tile in."""
+        tiles = list(tiles)
+        total = sum(arr.nbytes for _, arr in tiles)
+        arena = cls.allocate(tag, total)
+        for key, arr in tiles:
+            arena.put(key, arr)
+        return arena
+
+    @classmethod
+    def allocate(cls, tag: str, nbytes: int) -> "TileArena":
+        """Create an empty arena of capacity ``nbytes`` (at least 1 byte)."""
+        name = next_segment_name(tag)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(int(nbytes), 1))
+        _ACTIVE_SEGMENTS.add(name)
+        return cls(shm, ArenaMeta(name=name, size=shm.size), owner=True)
+
+    @classmethod
+    def attach(cls, meta: ArenaMeta) -> "TileArena":
+        """Map an existing segment (worker side)."""
+        # Note on the resource tracker: attaching re-registers the name
+        # (bpo-38119), but workers share the coordinator's tracker process
+        # and its cache is a set, so the re-registration is a no-op and the
+        # coordinator's unlink deregisters exactly once.  Unregistering here
+        # would instead race the coordinator and double-remove.
+        shm = shared_memory.SharedMemory(name=meta.name)
+        return cls(shm, meta, owner=False)
+
+    # -- access --------------------------------------------------------------
+
+    def meta(self) -> ArenaMeta:
+        """The pickle-able attachment metadata (current index snapshot)."""
+        return ArenaMeta(name=self.name, size=self.size, index=dict(self.index))
+
+    def get(self, key: TileKey) -> np.ndarray:
+        """Zero-copy read-only view of a stored tile."""
+        off, m, n = self.index[key]
+        view = np.ndarray((m, n), dtype=np.float64, buffer=self._shm.buf, offset=off)
+        view.flags.writeable = False
+        return view
+
+    def put(self, key: TileKey, arr: np.ndarray) -> tuple[int, int, int]:
+        """Append ``arr`` and index it under ``key``; returns the entry."""
+        require(key not in self.index, f"tile {key} already stored")
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+        off = self._cursor
+        require(
+            off + arr.nbytes <= self.size,
+            f"arena {self.name} overflow: {off + arr.nbytes} > {self.size}",
+        )
+        dst = np.ndarray(arr.shape, dtype=np.float64, buffer=self._shm.buf, offset=off)
+        dst[...] = arr
+        entry = (off, arr.shape[0], arr.shape[1])
+        self.index[key] = entry
+        self._cursor = off + arr.nbytes
+        return entry
+
+    def read(self, entry: tuple[int, int, int]) -> np.ndarray:
+        """An *owning copy* of the tile at an index entry.
+
+        Used by the coordinator to pull another process's C tiles out of an
+        arena it is about to unlink — a zero-copy view must never outlive
+        the segment, so this is the one place the bytes are duplicated.
+        """
+        off, m, n = entry
+        view = np.ndarray((m, n), dtype=np.float64, buffer=self._shm.buf, offset=off)
+        return np.array(view)
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self.index
+
+    # -- life-cycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers; coordinator before unlink)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views still around
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (coordinator only); idempotent."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _ACTIVE_SEGMENTS.discard(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TileArena({self.name}, {len(self.index)} tiles, {self.size} B)"

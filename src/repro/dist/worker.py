@@ -1,0 +1,199 @@
+"""The per-rank worker process of the distributed executor.
+
+Each worker is one planned process rank.  Life of a worker: receive one
+:class:`ScatterMsg` from the coordinator, attach the shared-memory arenas,
+execute its :class:`~repro.core.plan.ProcPlan` through the *same*
+:func:`repro.runtime.numeric.execute_proc_plan` body the serial executor
+uses (hence bit-identical numerics), write its C tiles into its output
+arena, and send a :class:`WorkerReport` back.
+
+The worker overlaps transfers with compute the way the paper's control DAG
+does: a prefetch thread copies the *next* chunk's A tiles out of the shared
+A arena (the "H2D" of the double-buffered 25 % staging area) while the main
+thread runs the current chunk's GEMMs; a ``Queue(maxsize=1)`` is exactly
+the one-chunk-ahead prefetch depth the 25/25 split allows.
+
+Fault injection lives here too: after the *k*-th GEMM task the worker
+either dies abruptly (``os._exit`` — no report, no cleanup, like a crashed
+MPI rank) or stalls, per the scattered :class:`~repro.dist.faults.FaultInjection`.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.grid import ProcessGrid
+from repro.core.plan import Block, ProcPlan
+from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.comm import COORDINATOR, Endpoint
+from repro.dist.faults import FaultInjection
+from repro.dist.tile_store import ArenaMeta, TileArena
+from repro.runtime.numeric import NumericStats, execute_proc_plan
+
+
+@dataclass(frozen=True)
+class ScatterMsg:
+    """Everything one rank needs to execute its slice of the plan."""
+
+    proc: ProcPlan
+    grid: ProcessGrid
+    gpus_per_proc: int
+    gpu_memory_bytes: int
+    b_csr: object
+    tau: float | None
+    alpha: float
+    a_meta: ArenaMeta
+    b_spec: tuple
+    c_meta: ArenaMeta | None
+    fault: FaultInjection | None
+    attempt: int
+    t0: float
+
+
+@dataclass
+class WorkerReport:
+    """One rank's results: stats, C-tile index, trace events, link bytes."""
+
+    rank: int
+    attempt: int
+    stats: NumericStats
+    c_index: dict[tuple[int, int], tuple[int, int, int]]
+    events: list[tuple[str, str, float, float]] = field(default_factory=list)
+    link_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    b_max_instantiations: int = 0
+    b_lru_evictions: int = 0
+
+
+def modeled_a_link_bytes(
+    proc: ProcPlan, grid: ProcessGrid, a_meta: ArenaMeta
+) -> dict[tuple[int, int], int]:
+    """Grid-row A-broadcast bytes charged to ``owner -> rank`` links.
+
+    Mirrors the inspector's per-process ``a_recv_bytes`` (Section 3.2.4):
+    each needed-but-remote A tile under the 2D-cyclic placement moves once.
+    """
+    links: Counter = Counter()
+    for i, k in zip(proc.a_needed_rows.tolist(), proc.a_needed_cols.tolist()):
+        owner_col = k % grid.q
+        if owner_col != proc.col:
+            owner = grid.rank(proc.row, owner_col)
+            links[(owner, proc.rank)] += a_meta.tile_nbytes((i, k))
+    return dict(links)
+
+
+def _prefetching_fetcher(a_arena: TileArena, events: list, clock, rank: int):
+    """A ``chunk_fetcher`` that double-buffers A chunks via a thread per block."""
+
+    def fetcher(g: int, bi: int, block: Block):
+        chunk_q: queue.Queue = queue.Queue(maxsize=1)
+        link = f"gpu.{rank}.{g}.link"
+
+        def produce() -> None:
+            for ci, chunk in enumerate(block.chunks):
+                t_start = clock()
+                tiles = [
+                    np.array(a_arena.get((i, k)))
+                    for i, k in zip(chunk.a_rows.tolist(), chunk.a_cols.tolist())
+                ]
+                events.append((f"block{bi}.chunk{ci}.prefetch", link, t_start, clock()))
+                chunk_q.put(tiles)
+
+        threading.Thread(target=produce, daemon=True).start()
+
+        def fetch(ci: int, chunk) -> list[np.ndarray]:
+            return chunk_q.get()
+
+        return fetch
+
+    return fetcher
+
+
+def run_rank(msg: ScatterMsg) -> WorkerReport:
+    """Execute one scattered rank; returns the report (arena already written)."""
+    attached: list[TileArena] = []
+    try:
+        a_arena = TileArena.attach(msg.a_meta)
+        attached.append(a_arena)
+
+        kind, payload = msg.b_spec
+        if kind == "arena":
+            b_arena = TileArena.attach(payload)
+            attached.append(b_arena)
+            b_source = ArenaBSource(b_arena)
+        else:
+            b_source = BService(payload, budget_bytes=msg.gpu_memory_bytes)
+
+        c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
+        if c_arena is not None:
+            attached.append(c_arena)
+
+        clock = lambda: time.time() - msg.t0  # noqa: E731 - shared wall clock
+        events: list[tuple[str, str, float, float]] = []
+
+        fault = msg.fault
+        executed = 0
+
+        def on_task() -> None:
+            nonlocal executed
+            executed += 1
+            if fault is not None and executed == fault.at_task:
+                if fault.kind == "kill":
+                    os._exit(99)
+                time.sleep(fault.delay_seconds)
+
+        produced, stats = execute_proc_plan(
+            msg.proc,
+            lambda i, k: a_arena.get((i, k)),
+            b_source,
+            gpus_per_proc=msg.gpus_per_proc,
+            gpu_memory_bytes=msg.gpu_memory_bytes,
+            b_csr=msg.b_csr,
+            tau=msg.tau,
+            alpha=msg.alpha,
+            chunk_fetcher=_prefetching_fetcher(a_arena, events, clock, msg.proc.rank),
+            on_task=on_task if fault is not None else None,
+            on_event=lambda task, res, s, e: events.append((task, res, s, e)),
+            clock=clock,
+        )
+        stats.b_tiles_generated = b_source.generated_tiles()
+
+        c_index: dict[tuple[int, int], tuple[int, int, int]] = {}
+        t_wb = clock()
+        for key, tile in produced.items():
+            c_index[key] = c_arena.put(key, tile)
+        events.append((f"writeback.{msg.proc.rank}", f"net.{msg.proc.rank}", t_wb, clock()))
+
+        return WorkerReport(
+            rank=msg.proc.rank,
+            attempt=msg.attempt,
+            stats=stats,
+            c_index=c_index,
+            events=events,
+            link_bytes=modeled_a_link_bytes(msg.proc, msg.grid, msg.a_meta),
+            b_max_instantiations=b_source.max_instantiations(),
+            b_lru_evictions=getattr(b_source, "lru_evictions", 0),
+        )
+    finally:
+        for arena in attached:
+            arena.close()
+
+
+def worker_main(rank: int, endpoint: Endpoint) -> None:
+    """Process entry point: one scatter in, one report (or error) out."""
+    try:
+        _, msg, _ = endpoint.recv()
+        report = run_rank(msg)
+        endpoint.send(COORDINATOR, ("done", rank, report))
+    except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
+        try:
+            endpoint.send(COORDINATOR, ("error", rank, traceback.format_exc()))
+        except Exception:  # pragma: no cover - fabric itself broken
+            pass

@@ -105,6 +105,17 @@ class GeneratedCollection:
         self.instantiations[key] += 1
         return data
 
+    def generate_tile(self, k: int, j: int) -> np.ndarray:
+        """A fresh copy of tile ``(k, j)``'s values, bypassing the cache.
+
+        Deterministic in ``(seed, tile id)`` only, so any process holding an
+        equal-state collection (e.g. a distributed worker that received one
+        by pickling) produces bit-identical tiles.
+        """
+        if not self.has_tile(k, j):
+            raise KeyError(f"tile ({k},{j}) is structurally zero")
+        return self._generate(k, j)
+
     def _generate(self, k: int, j: int) -> np.ndarray:
         tshape = self.tile_shape(k, j)
         if self.fill == "ones":
@@ -125,6 +136,16 @@ class GeneratedCollection:
     def max_instantiations_per_proc_tile(self) -> int:
         """The paper's invariant: must be 1 after any run."""
         return max(self.instantiations.values(), default=0)
+
+    def empty_clone(self) -> "GeneratedCollection":
+        """An equal-state collection with an empty cache.
+
+        Shares the parent's generator state (generation never advances it),
+        so clones — including ones pickled to worker processes — hand out
+        bit-identical tiles in any order.  This is what the distributed
+        executor scatters to each rank.
+        """
+        return GeneratedCollection(self.shape, fill=self.fill, seed=self._rng)
 
     def as_matrix(self) -> BlockSparseMatrix:
         """Materialize the whole collection (tests / small shapes only).

@@ -12,15 +12,22 @@ performance model alone cannot:
    never exceeds 50 % of GPU memory, a chunk plus its prefetch never
    exceed the other 50 %, B tiles are instantiated at most once per
    process, and every C tile is produced by exactly one process.
+
+The per-process body (:func:`execute_proc_plan`) is shared with the real
+multi-process executor in :mod:`repro.dist`: both walk blocks, chunks and
+GEMMs in the identical order with identical floating-point operations, so
+the distributed result is bit-for-bit the serial result and this executor
+doubles as the distributed executor's crosscheck oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.core.plan import ExecutionPlan
+from repro.core.plan import Block, ExecutionPlan, ProcPlan
 from repro.runtime.data import MatrixSource, TileSource
 from repro.runtime.gpu_memory import GpuMemory
 from repro.sparse.matrix import BlockSparseMatrix
@@ -55,6 +62,173 @@ class NumericStats:
     gpu_peak_bytes: int = 0
     per_proc_tasks: dict[int, int] = field(default_factory=dict)
 
+    @classmethod
+    def merge(cls, parts: Iterable["NumericStats"]) -> "NumericStats":
+        """Combine per-process (or per-attempt) statistics into a total.
+
+        Counters are summed, ``gpu_peak_bytes`` is the max over parts (each
+        part tracks a disjoint set of GPUs), and ``per_proc_tasks`` is the
+        union of the per-rank task counts (summed on the rare key overlap,
+        e.g. a rank re-executed after a fault).
+        """
+        out = cls()
+        for s in parts:
+            out.ntasks += s.ntasks
+            out.flops += s.flops
+            out.h2d_bytes += s.h2d_bytes
+            out.d2h_bytes += s.d2h_bytes
+            out.b_tiles_generated += s.b_tiles_generated
+            out.gpu_peak_bytes = max(out.gpu_peak_bytes, s.gpu_peak_bytes)
+            for rank, n in s.per_proc_tasks.items():
+                out.per_proc_tasks[rank] = out.per_proc_tasks.get(rank, 0) + n
+        return out
+
+
+def block_cols_of_k(block: Block, b_csr) -> dict[int, list[int]]:
+    """Per-inner-tile list of this block's present B columns, in CSR order."""
+    block_cols = set(block.columns.tolist())
+    cols_of_k: dict[int, list[int]] = {}
+    for k in block.k_tiles.tolist():
+        row = b_csr.indices[b_csr.indptr[k] : b_csr.indptr[k + 1]]
+        cols_of_k[k] = [j for j in row.tolist() if j in block_cols]
+    return cols_of_k
+
+
+def execute_block(
+    block: Block,
+    block_name: str,
+    *,
+    rank: int,
+    a_get_tile: Callable[[int, int], np.ndarray],
+    b: TileSource,
+    cols_of_k: dict[int, list[int]],
+    mem: GpuMemory,
+    stats: NumericStats,
+    tau: float | None,
+    alpha: float = 1.0,
+    fetch_chunk: Callable[[int, object], list[np.ndarray]] | None = None,
+    on_task: Callable[[], None] | None = None,
+    on_event: Callable[[str, str, float, float], None] | None = None,
+    resource: str = "",
+    clock: Callable[[], float] | None = None,
+) -> dict[tuple[int, int], np.ndarray]:
+    """Run one resident block's chunk stream; returns the device C tiles.
+
+    ``fetch_chunk(ci, chunk)`` may supply prefetched A tiles (in chunk tile
+    order) — the distributed worker's double-buffered prefetch thread —
+    otherwise tiles come from ``a_get_tile``.  The GEMM order is identical
+    either way, which is what makes serial and distributed runs bit-equal.
+    """
+    c_dev: dict[tuple[int, int], np.ndarray] = {}
+    prev_chunk: str | None = None
+    for ci, chunk in enumerate(block.chunks):
+        chunk_name = f"{block_name}.chunk{ci}"
+        # Prefetch discipline: next chunk reserved while the previous is
+        # still resident, then the previous freed.
+        mem.reserve(chunk_name, chunk.a_bytes)
+        if prev_chunk is not None:
+            mem.release(prev_chunk)
+        prev_chunk = chunk_name
+        stats.h2d_bytes += chunk.a_bytes
+
+        a_tiles = fetch_chunk(ci, chunk) if fetch_chunk is not None else None
+        t_start = clock() if on_event is not None and clock is not None else 0.0
+        for ti, (i, k) in enumerate(zip(chunk.a_rows.tolist(), chunk.a_cols.tolist())):
+            a_tile = a_tiles[ti] if a_tiles is not None else a_get_tile(i, k)
+            a_norm = np.linalg.norm(a_tile) if tau is not None else None
+            for j in cols_of_k[k]:
+                b_tile = b.tile(rank, k, j)
+                if tau is not None:
+                    if a_norm * np.linalg.norm(b_tile) <= tau:
+                        continue
+                contrib = a_tile @ b_tile
+                if alpha != 1.0:
+                    contrib *= alpha
+                acc = c_dev.get((i, j))
+                if acc is None:
+                    c_dev[(i, j)] = contrib
+                else:
+                    acc += contrib
+                stats.ntasks += 1
+                stats.flops += 2.0 * a_tile.shape[0] * b_tile.shape[1] * a_tile.shape[1]
+                if on_task is not None:
+                    on_task()
+        if on_event is not None and clock is not None:
+            on_event(f"{block_name}.chunk{ci}.gemm", resource, t_start, clock())
+    if prev_chunk is not None:
+        mem.release(prev_chunk)
+    return c_dev
+
+
+def execute_proc_plan(
+    proc: ProcPlan,
+    a_get_tile: Callable[[int, int], np.ndarray],
+    b: TileSource,
+    *,
+    gpus_per_proc: int,
+    gpu_memory_bytes: int,
+    b_csr,
+    tau: float | None,
+    alpha: float = 1.0,
+    chunk_fetcher: Callable[[int, int, Block], Callable] | None = None,
+    on_task: Callable[[], None] | None = None,
+    on_event: Callable[[str, str, float, float], None] | None = None,
+    clock: Callable[[], float] | None = None,
+) -> tuple[dict[tuple[int, int], np.ndarray], NumericStats]:
+    """Execute everything one process rank does; returns ``(C tiles, stats)``.
+
+    This is the unit of work a distributed worker runs for its rank, and the
+    loop body the serial :func:`execute_plan` runs once per rank.  B tiles
+    are evicted at the end of each block's life-cycle (``b.evict``), C tiles
+    are counted as written back (d2h) once per block, exactly as PaRSEC's
+    control DAG forces on the real machine.
+    """
+    stats = NumericStats()
+    produced: dict[tuple[int, int], np.ndarray] = {}
+    for g in range(gpus_per_proc):
+        mem = GpuMemory(gpu_memory_bytes)
+        resource = f"gpu.{proc.rank}.{g}.comp"
+        for bi, block in enumerate(proc.gpu_blocks(g)):
+            block_name = f"block{bi}"
+            mem.reserve(block_name, block.b_bytes + block.c_bytes)
+            stats.h2d_bytes += block.b_bytes
+            cols_of_k = block_cols_of_k(block, b_csr)
+            fetch = chunk_fetcher(g, bi, block) if chunk_fetcher is not None else None
+            c_dev = execute_block(
+                block,
+                block_name,
+                rank=proc.rank,
+                a_get_tile=a_get_tile,
+                b=b,
+                cols_of_k=cols_of_k,
+                mem=mem,
+                stats=stats,
+                tau=tau,
+                alpha=alpha,
+                fetch_chunk=fetch,
+                on_task=on_task,
+                on_event=on_event,
+                resource=resource,
+                clock=clock,
+            )
+
+            # Writeback: C tiles leave the device once per block.  Within a
+            # process, blocks hold disjoint column sets, so no key collides.
+            for (i, j), tile in c_dev.items():
+                produced[(i, j)] = tile
+                stats.d2h_bytes += tile.nbytes
+
+            # Evict the block's B tiles at end of life-cycle.
+            if hasattr(b, "evict"):
+                for k, js in cols_of_k.items():
+                    for j in js:
+                        b.evict(proc.rank, k, j)
+
+            mem.release(block_name)
+        stats.gpu_peak_bytes = max(stats.gpu_peak_bytes, mem.peak)
+    stats.per_proc_tasks[proc.rank] = stats.ntasks
+    return produced, stats
+
 
 def execute_plan(
     plan: ExecutionPlan,
@@ -83,84 +257,31 @@ def execute_plan(
         for (i, j), tile in c.items():
             out.set_tile(i, j, beta * tile)
 
-    tau = plan.options.screen_threshold
-    stats = NumericStats()
     b_csr = plan.b_shape.csr  # occupancy for per-k column lists
-
     produced_by: dict[tuple[int, int], int] = {}
+    parts: list[NumericStats] = []
 
     for proc in plan.procs:
-        proc_tasks = 0
-        for g in range(plan.grid.gpus_per_proc):
-            mem = GpuMemory(plan.gpu_memory_bytes)
-            for bi, block in enumerate(proc.gpu_blocks(g)):
-                block_name = f"block{bi}"
-                mem.reserve(block_name, block.b_bytes + block.c_bytes)
-                stats.h2d_bytes += block.b_bytes
+        produced, proc_stats = execute_proc_plan(
+            proc,
+            a.get_tile,
+            b,
+            gpus_per_proc=plan.grid.gpus_per_proc,
+            gpu_memory_bytes=plan.gpu_memory_bytes,
+            b_csr=b_csr,
+            tau=plan.options.screen_threshold,
+            alpha=alpha,
+        )
+        parts.append(proc_stats)
+        for (i, j), tile in produced.items():
+            prev = produced_by.setdefault((i, j), proc.rank)
+            require(
+                prev == proc.rank,
+                f"C tile ({i},{j}) produced by two processes ({prev}, {proc.rank})",
+            )
+            out.accumulate_tile(i, j, tile)
 
-                # Per-inner-tile list of present block columns.
-                block_cols = set(block.columns.tolist())
-                cols_of_k: dict[int, list[int]] = {}
-                for k in block.k_tiles.tolist():
-                    row = b_csr.indices[b_csr.indptr[k] : b_csr.indptr[k + 1]]
-                    cols_of_k[k] = [j for j in row.tolist() if j in block_cols]
-
-                # Device-resident C accumulator for the block.
-                c_dev: dict[tuple[int, int], np.ndarray] = {}
-
-                prev_chunk: str | None = None
-                for ci, chunk in enumerate(block.chunks):
-                    chunk_name = f"block{bi}.chunk{ci}"
-                    # Prefetch discipline: next chunk reserved while the
-                    # previous is still resident, then the previous freed.
-                    mem.reserve(chunk_name, chunk.a_bytes)
-                    if prev_chunk is not None:
-                        mem.release(prev_chunk)
-                    prev_chunk = chunk_name
-                    stats.h2d_bytes += chunk.a_bytes
-
-                    for i, k in zip(chunk.a_rows.tolist(), chunk.a_cols.tolist()):
-                        a_tile = a.get_tile(i, k)
-                        a_norm = np.linalg.norm(a_tile) if tau is not None else None
-                        for j in cols_of_k[k]:
-                            b_tile = b.tile(proc.rank, k, j)
-                            if tau is not None:
-                                if a_norm * np.linalg.norm(b_tile) <= tau:
-                                    continue
-                            contrib = a_tile @ b_tile
-                            if alpha != 1.0:
-                                contrib *= alpha
-                            acc = c_dev.get((i, j))
-                            if acc is None:
-                                c_dev[(i, j)] = contrib
-                            else:
-                                acc += contrib
-                            proc_tasks += 1
-                            stats.flops += 2.0 * a_tile.shape[0] * b_tile.shape[1] * a_tile.shape[1]
-                if prev_chunk is not None:
-                    mem.release(prev_chunk)
-
-                # Writeback: C tiles leave the device once per block.
-                for (i, j), tile in c_dev.items():
-                    prev = produced_by.setdefault((i, j), proc.rank)
-                    require(
-                        prev == proc.rank,
-                        f"C tile ({i},{j}) produced by two processes ({prev}, {proc.rank})",
-                    )
-                    out.accumulate_tile(i, j, tile)
-                    stats.d2h_bytes += tile.nbytes
-
-                # Evict the block's B tiles at end of life-cycle.
-                if hasattr(b, "evict"):
-                    for k, js in cols_of_k.items():
-                        for j in js:
-                            b.evict(proc.rank, k, j)
-
-                mem.release(block_name)
-            stats.gpu_peak_bytes = max(stats.gpu_peak_bytes, mem.peak)
-        stats.per_proc_tasks[proc.rank] = proc_tasks
-        stats.ntasks += proc_tasks
-
+    stats = NumericStats.merge(parts)
     if hasattr(b, "generated_tiles"):
         stats.b_tiles_generated = b.generated_tiles()
     elif isinstance(b, MatrixSource):

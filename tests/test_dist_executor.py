@@ -1,0 +1,311 @@
+"""Tests for the multi-process distributed executor (:mod:`repro.dist`).
+
+The serial executor is the oracle: every distributed run must reproduce
+its C matrix *bit for bit* (same seeds), its merged statistics must equal
+the serial statistics exactly, and every shared-memory segment must be
+unlinked afterwards — including when workers are killed mid-run.
+
+Fast parity checks run in tier-1; the slower multi-process scenarios
+(fault recovery, 4-worker grids, the CLI round-trip) are marked ``dist``
+and run via ``make test-dist``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import inspect, psgemm_distributed, psgemm_numeric
+from repro.dist import (
+    BService,
+    DistExecutionError,
+    FaultPlan,
+    TileArena,
+    active_segments,
+    execute_plan_distributed,
+)
+from repro.machine import summit
+from repro.runtime import GeneratedCollection, execute_plan
+from repro.runtime.numeric import NumericStats
+from repro.sparse import random_block_sparse
+from repro.sparse.gemm_ref import gemm_against_dense
+from repro.tiling import random_tiling
+
+
+def operands(seed=0, m=200, nk=600, density=0.5):
+    rows = random_tiling(m, 20, 80, seed=seed)
+    inner = random_tiling(nk, 20, 80, seed=seed + 1)
+    a = random_block_sparse(rows, inner, density, seed=seed + 2)
+    b = random_block_sparse(inner, inner, density, seed=seed + 3)
+    return a, b
+
+
+def assert_bit_equal_runs(a, b, machine, p, gpus_per_proc, **dist_kwargs):
+    c_serial, s_serial = psgemm_numeric(a, b, machine, p=p, gpus_per_proc=gpus_per_proc)
+    c_dist, report = psgemm_distributed(
+        a, b, machine, p=p, gpus_per_proc=gpus_per_proc, **dist_kwargs
+    )
+    assert np.array_equal(c_serial.to_dense(), c_dist.to_dense()), "C differs bitwise"
+    assert s_serial == report.stats, "merged stats differ from serial stats"
+    assert np.allclose(c_dist.to_dense(), gemm_against_dense(a, b))
+    return c_dist, report
+
+
+@pytest.fixture(scope="module")
+def q2_run():
+    """One 1x2-grid distributed run shared by the comm/trace/leak tests."""
+    a, b = operands(seed=0)
+    plan = inspect(a.sparse_shape(), b.sparse_shape(), summit(2), p=1)
+    assert plan.grid.q == 2  # remote A tiles exist under 2D-cyclic placement
+    c_serial, _ = execute_plan(plan, a, b)
+    c_dist, report = execute_plan_distributed(plan, a, b)
+    assert np.array_equal(c_serial.to_dense(), c_dist.to_dense())
+    return plan, report
+
+
+class TestParity:
+    """Dist result == serial result == dense reference."""
+
+    @pytest.mark.parametrize("p,gpus_per_proc", [(2, 6), (1, 6)])  # 2x1 and 1x2 grids
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_three_random_plans_two_grid_shapes(self, seed, p, gpus_per_proc):
+        a, b = operands(seed=seed)
+        assert_bit_equal_runs(a, b, summit(2), p, gpus_per_proc)
+
+    def test_four_workers_2x2_grid(self):
+        a, b = operands(seed=7)
+        _, report = assert_bit_equal_runs(a, b, summit(2), 2, 3)
+        assert report.nworkers == 4
+        assert len(report.stats.per_proc_tasks) == 4
+
+    def test_generated_b_source(self):
+        a, bmat = operands(seed=3)
+        b_shape = bmat.sparse_shape()
+        c_serial, s_serial = psgemm_numeric(
+            a, GeneratedCollection(b_shape, seed=77), summit(2), p=2, b_shape=b_shape
+        )
+        c_dist, report = psgemm_distributed(
+            a, GeneratedCollection(b_shape, seed=77), summit(2), p=2, b_shape=b_shape
+        )
+        assert np.array_equal(c_serial.to_dense(), c_dist.to_dense())
+        assert s_serial == report.stats
+        # The paper's invariant: every B tile instantiated at most once per rank.
+        assert report.b_max_instantiations == 1
+
+    def test_alpha_beta_and_c_input(self):
+        a, b = operands(seed=4)
+        c0 = random_block_sparse(a.rows, b.cols, 0.3, seed=9)
+        c_serial, _ = psgemm_numeric(a, b, summit(2), c=c0, p=2, alpha=2.0, beta=0.5)
+        c_dist, _ = psgemm_distributed(a, b, summit(2), c=c0, p=2, alpha=2.0, beta=0.5)
+        assert np.array_equal(c_serial.to_dense(), c_dist.to_dense())
+
+
+class TestCommAndTrace:
+    def test_modeled_a_broadcast_matches_inspector(self, q2_run):
+        plan, report = q2_run
+        expected = sum(pp.a_recv_bytes for pp in plan.procs)
+        assert expected > 0
+        assert report.comm.a_broadcast_bytes() == expected
+
+    def test_scatter_and_gather_bytes_counted(self, q2_run):
+        _, report = q2_run
+        assert report.comm.scatter_bytes() > 0
+        assert report.comm.gather_bytes() > 0
+
+    def test_per_rank_trace_events(self, q2_run):
+        plan, report = q2_run
+        trace = report.trace
+        assert trace.makespan > 0
+        resources = {e.resource for e in trace.events}
+        for pp in plan.procs:
+            assert any(r.startswith(f"gpu.{pp.rank}.") for r in resources)
+        # Prefetch (link) and compute events both present, and the Chrome
+        # export the tracing module promises still works on merged traces.
+        assert any(r.endswith(".link") for r in resources)
+        assert any(r.endswith(".comp") for r in resources)
+        assert len(trace.to_chrome_trace()) == len(trace.events)
+
+
+class TestSharedMemoryLifecycle:
+    def test_all_segments_unlinked_after_success(self, q2_run):
+        from multiprocessing import shared_memory
+
+        _, report = q2_run
+        assert report.segments, "run should have created shm segments"
+        assert active_segments() == frozenset()
+        for name in report.segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_all_segments_unlinked_after_failure(self):
+        a, b = operands(seed=5)
+        plan = inspect(a.sparse_shape(), b.sparse_shape(), summit(2), p=2)
+        with pytest.raises(DistExecutionError):
+            execute_plan_distributed(
+                plan, a, b,
+                fault_plan=FaultPlan.kill(0, 1, once=False),
+                max_retries=0,
+                allow_reassign=False,
+            )
+        assert active_segments() == frozenset()
+
+    def test_arena_roundtrip_and_unlink(self):
+        rng = np.random.default_rng(0)
+        tiles = {(0, 0): rng.standard_normal((4, 5)), (1, 2): rng.standard_normal((3, 3))}
+        arena = TileArena.pack("t", tiles.items())
+        try:
+            attached = TileArena.attach(arena.meta())
+            for key, arr in tiles.items():
+                view = attached.get(key)
+                assert not view.flags.writeable
+                assert np.array_equal(view, arr)
+            entry = arena.index[(0, 0)]
+            assert np.array_equal(arena.read(entry), tiles[(0, 0)])
+            attached.close()
+        finally:
+            arena.unlink()
+        assert arena.name not in active_segments()
+
+    def test_arena_overflow_rejected(self):
+        arena = TileArena.allocate("small", 8)
+        try:
+            with pytest.raises(ValueError):
+                arena.put((0, 0), np.zeros((2, 2)))
+        finally:
+            arena.unlink()
+
+
+class TestFaultRecovery:
+    @pytest.mark.dist
+    def test_killed_worker_is_retried_and_result_exact(self):
+        a, b = operands(seed=6)
+        _, report = assert_bit_equal_runs(
+            a, b, summit(2), 2, 6, fault_plan=FaultPlan.kill(0, 5)
+        )
+        assert report.attempts[0] == 2  # one failure, one successful retry
+        assert all(report.attempts[r] == 1 for r in report.attempts if r != 0)
+        assert report.reassigned == []
+
+    @pytest.mark.dist
+    def test_persistently_failing_rank_is_reassigned(self):
+        a, b = operands(seed=8)
+        _, report = assert_bit_equal_runs(
+            a, b, summit(2), 2, 6, fault_plan=FaultPlan.kill(1, 3, once=False)
+        )
+        assert report.attempts[1] == 3  # initial + retry + reassigned inline
+        assert report.reassigned == [1]
+
+    @pytest.mark.dist
+    def test_killed_worker_with_generated_b_still_exact(self):
+        a, bmat = operands(seed=10)
+        b_shape = bmat.sparse_shape()
+        c_serial, _ = psgemm_numeric(
+            a, GeneratedCollection(b_shape, seed=5), summit(2), p=2, b_shape=b_shape
+        )
+        c_dist, report = psgemm_distributed(
+            a, GeneratedCollection(b_shape, seed=5), summit(2), p=2, b_shape=b_shape,
+            fault_plan=FaultPlan.kill(0, 2, once=False),
+        )
+        assert np.array_equal(c_serial.to_dense(), c_dist.to_dense())
+        assert report.reassigned == [0]
+
+    @pytest.mark.dist
+    def test_delayed_worker_finishes_without_recovery(self):
+        a, b = operands(seed=11)
+        _, report = assert_bit_equal_runs(
+            a, b, summit(2), 2, 6, fault_plan=FaultPlan.delay(0, 5, seconds=0.3)
+        )
+        assert all(n == 1 for n in report.attempts.values())
+        assert report.reassigned == []
+
+    def test_fault_plan_parsing(self):
+        plan = FaultPlan.parse("1:20")
+        assert plan.for_rank(1).kind == "kill" and plan.for_rank(1).at_task == 20
+        assert plan.for_rank(0) is None
+        assert FaultPlan.parse("0:3:delay").for_rank(0).kind == "delay"
+        with pytest.raises(ValueError):
+            FaultPlan.parse("nope")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("0:0")  # at_task is 1-based
+        with pytest.raises(ValueError):
+            FaultPlan.parse("0:5:explode")  # unknown fault kind
+
+
+class TestBService:
+    def _collection(self):
+        rows = random_tiling(60, 10, 20, seed=0)
+        shape = random_block_sparse(rows, rows, 1.0, seed=1).sparse_shape()
+        return GeneratedCollection(shape, seed=42)
+
+    def test_generates_once_and_caches(self):
+        col = self._collection()
+        svc = BService(col, budget_bytes=1 << 20)
+        t1 = svc.tile(0, 0, 0)
+        t2 = svc.tile(0, 0, 0)
+        assert t1 is t2
+        assert svc.generated_tiles() == 1
+        assert np.array_equal(t1, col.generate_tile(0, 0))
+
+    def test_lru_budget_evicts_and_regenerates_identically(self):
+        col = self._collection()
+        keys = [(k, j) for k in range(col.shape.ntile_rows)
+                for j in range(col.shape.ntile_cols) if col.has_tile(k, j)][:6]
+        budget = sum(col.tile_nbytes(k, j) for k, j in keys[:2]) + 8
+        svc = BService(col, budget_bytes=budget)
+        first = {key: svc.tile(0, *key).copy() for key in keys}
+        assert svc.lru_evictions > 0
+        assert svc.max_instantiations() == 1
+        # A re-pull of an evicted tile regenerates bit-identical values.
+        again = svc.tile(0, *keys[0])
+        assert np.array_equal(again, first[keys[0]])
+
+    def test_block_lifecycle_evict_frees_budget(self):
+        col = self._collection()
+        svc = BService(col, budget_bytes=1 << 20)
+        svc.tile(0, 0, 0)
+        held = svc.cached_bytes
+        assert held > 0
+        svc.evict(0, 0, 0)
+        assert svc.cached_bytes == 0
+        svc.evict(0, 0, 0)  # idempotent
+
+
+class TestNumericStatsMerge:
+    def test_merge_sums_counters_and_maxes_peak(self):
+        s1 = NumericStats(ntasks=2, flops=4.0, h2d_bytes=10, d2h_bytes=5,
+                          b_tiles_generated=1, gpu_peak_bytes=100,
+                          per_proc_tasks={0: 2})
+        s2 = NumericStats(ntasks=3, flops=6.0, h2d_bytes=20, d2h_bytes=7,
+                          b_tiles_generated=2, gpu_peak_bytes=80,
+                          per_proc_tasks={1: 3})
+        m = NumericStats.merge([s1, s2])
+        assert m.ntasks == 5 and m.flops == 10.0
+        assert m.h2d_bytes == 30 and m.d2h_bytes == 12
+        assert m.b_tiles_generated == 3
+        assert m.gpu_peak_bytes == 100
+        assert m.per_proc_tasks == {0: 2, 1: 3}
+
+    def test_merge_overlapping_ranks_sums(self):
+        parts = [NumericStats(per_proc_tasks={0: 2}), NumericStats(per_proc_tasks={0: 3})]
+        assert NumericStats.merge(parts).per_proc_tasks == {0: 5}
+
+    def test_merge_empty(self):
+        m = NumericStats.merge([])
+        assert m == NumericStats()
+
+
+class TestCliIntegration:
+    @pytest.mark.dist
+    def test_selftest_procs(self, capsys):
+        from repro.cli import main
+
+        assert main(["selftest", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "matches serial executor bit-for-bit: True" in out
+
+    @pytest.mark.dist
+    def test_selftest_procs_with_fault(self, capsys):
+        from repro.cli import main
+
+        assert main(["selftest", "--procs", "2", "--inject-fault", "0:5"]) == 0
+        out = capsys.readouterr().out
+        assert "retried [0]" in out
+        assert "matches dense reference: True" in out
