@@ -1,12 +1,19 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist bench bench-paper examples export selftest clean
+.PHONY: install test test-dist analyze bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
-test:
+test: analyze
 	pytest tests/
+
+# Static analysis gate: the AST concurrency lint over the source tree, then
+# the plan verifier + task-graph checks on an inspector-built plan.  Both
+# exit nonzero exactly when findings exist, so this fails the build early.
+analyze:
+	PYTHONPATH=src python -m repro lint src/repro
+	PYTHONPATH=src python -m repro analyze
 
 # The full multi-process executor suite (fault injection, 4-worker grids,
 # CLI round-trips); budgeted at 120 s so a hung worker can never wedge CI.

@@ -1,0 +1,55 @@
+"""Static analysis for plans, task graphs, and the source tree.
+
+Three layers reporting through one uniform :class:`Finding` vocabulary
+(rule id, severity, location, message) and one rule registry:
+
+* :mod:`~repro.analysis.plan_checks` — the plan verifier: coverage,
+  memory safety, and comm-consistency proofs over an
+  :class:`~repro.core.plan.ExecutionPlan` (rules ``P1xx``);
+* :mod:`~repro.analysis.dag_checks` — deadlock (cycle) and unordered
+  same-tile access detection on expanded task graphs via a
+  happens-before closure (rules ``D2xx``);
+* :mod:`~repro.analysis.lint` — an AST concurrency lint for the hazards
+  specific to this codebase: leaked shared memory, start-method-unsafe
+  multiprocessing, legacy global RNG, frozen-dataclass mutation, bare
+  excepts (rules ``L3xx``, suppressible with ``# repro: noqa[RULE]``).
+
+CLI: ``repro analyze`` (plan + task-graph checks) and ``repro lint``
+(source checks), both exiting nonzero exactly when findings exist.
+Executors opt in via ``psgemm_distributed(..., verify_plan=True)``,
+which raises :class:`PlanVerificationError` before any worker spawns.
+"""
+
+from repro.analysis.dag_checks import (
+    check_conflicts,
+    check_engine,
+    check_task_graph,
+    plan_tile_accesses,
+)
+from repro.analysis.findings import AnalysisReport, Finding, Location, Severity
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.plan_checks import (
+    PlanVerificationError,
+    assert_plan_valid,
+    verify_plan,
+)
+from repro.analysis.rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Location",
+    "PlanVerificationError",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "assert_plan_valid",
+    "check_conflicts",
+    "check_engine",
+    "check_task_graph",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "plan_tile_accesses",
+    "verify_plan",
+]

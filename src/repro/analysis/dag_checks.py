@@ -1,0 +1,173 @@
+"""Task-graph checks: deadlock and data-race detection on the two-DAG.
+
+Two analyses over :class:`~repro.runtime.engine.DiscreteEventEngine` task
+graphs (the superposed dataflow + control DAG of Section 4):
+
+* :func:`check_engine` — structural soundness: every dependency names an
+  existing task (D202) and the merged precedence relation is acyclic
+  (D201; a cycle deadlocks the scheduler, which only detects it at run
+  time after everything else has drained).
+* :func:`check_conflicts` — a happens-before closure over the dependency
+  edges.  Tasks are annotated with the tiles they read or write; two
+  tasks touching the same tile, at least one writing, with no
+  happens-before path between them are an unordered conflict (D210) —
+  the static signature of a cross-rank write/write or read/write race.
+
+:func:`check_task_graph` glues both onto an execution plan: it expands
+the plan via :func:`repro.runtime.dag.build_task_graph` and derives the
+tile access sets from the plan structure (each block's ``load_bc`` reads
+and ``store_c`` writes the block's C tiles), so a healthy plan analyzes
+clean and a plan with duplicated C ownership surfaces the exact racing
+task pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.findings import AnalysisReport
+from repro.core.plan import ExecutionPlan
+from repro.machine.spec import MachineSpec
+from repro.runtime.dag import build_task_graph
+from repro.runtime.engine import DiscreteEventEngine
+
+#: An access annotation: ``task name -> [(tile key, "r" | "w"), ...]``.
+AccessMap = dict[str, list[tuple[object, str]]]
+
+
+def check_engine(engine: DiscreteEventEngine) -> AnalysisReport:
+    """Check the loaded task graph for unknown deps and cycles."""
+    report = AnalysisReport()
+    tasks = engine.tasks()
+    indeg: dict[str, int] = {name: 0 for name in tasks}
+    succ: dict[str, list[str]] = {name: [] for name in tasks}
+    for t in tasks.values():
+        for d in t.deps:
+            if d not in tasks:
+                report.add(
+                    "D202",
+                    f"depends on unknown task {d!r}",
+                    obj=f"task {t.name!r}",
+                )
+                continue
+            succ[d].append(t.name)
+            indeg[t.name] += 1
+
+    queue = deque(name for name, d in indeg.items() if d == 0)
+    seen = 0
+    while queue:
+        name = queue.popleft()
+        seen += 1
+        for s in succ[name]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                queue.append(s)
+    if seen != len(tasks):
+        stuck = sorted(n for n, d in indeg.items() if d > 0)
+        report.add(
+            "D201",
+            f"dependency cycle: {len(stuck)} tasks can never become ready "
+            f"(e.g. {stuck[:5]})",
+            obj="task graph",
+        )
+    return report
+
+
+def check_conflicts(
+    engine: DiscreteEventEngine, accesses: AccessMap
+) -> AnalysisReport:
+    """Find same-tile access pairs with no happens-before ordering (D210).
+
+    ``accesses`` annotates task names with the tiles they touch and the
+    mode (``"r"``/``"w"``).  The happens-before relation is the transitive
+    closure of the engine's dependency edges, computed as per-task bitsets
+    over the (few) annotated tasks only, in topological order.  Graphs
+    with cycles or unknown deps must be rejected by :func:`check_engine`
+    first; here such edges are ignored.
+    """
+    report = AnalysisReport()
+    tasks = engine.tasks()
+    annotated = [name for name in accesses if name in tasks]
+    bit = {name: 1 << i for i, name in enumerate(annotated)}
+
+    indeg: dict[str, int] = {name: 0 for name in tasks}
+    succ: dict[str, list[str]] = {name: [] for name in tasks}
+    for t in tasks.values():
+        for d in t.deps:
+            if d in tasks:
+                succ[d].append(t.name)
+                indeg[t.name] += 1
+
+    # hb[n] = bitset of annotated tasks with a path to n (excluding n).
+    hb: dict[str, int] = {name: 0 for name in tasks}
+    queue = deque(name for name, d in indeg.items() if d == 0)
+    while queue:
+        name = queue.popleft()
+        mask = hb[name] | bit.get(name, 0)
+        for s in succ[name]:
+            hb[s] |= mask
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                queue.append(s)
+
+    # Group accesses by tile key; report unordered conflicting pairs.
+    by_key: dict[object, list[tuple[str, str]]] = {}
+    for name in annotated:
+        for key, mode in accesses[name]:
+            by_key.setdefault(key, []).append((name, mode))
+    for key, users in sorted(by_key.items(), key=lambda kv: str(kv[0])):
+        for i in range(len(users)):
+            for j in range(i + 1, len(users)):
+                (u, mu), (v, mv) = users[i], users[j]
+                if mu == "r" and mv == "r":
+                    continue
+                if hb[v] & bit[u] or hb[u] & bit[v]:
+                    continue
+                kind = "write/write" if mu == mv == "w" else "read/write"
+                report.add(
+                    "D210",
+                    f"unordered {kind} pair on tile {key}: "
+                    f"{u!r} ({mu}) vs {v!r} ({mv})",
+                    obj=f"tile {key}",
+                )
+    return report
+
+
+def plan_tile_accesses(plan: ExecutionPlan) -> AccessMap:
+    """Derive the C-tile access sets of a plan's expanded task graph.
+
+    Mirrors the task naming of :func:`repro.runtime.dag.build_task_graph`:
+    for each block ``p{rank}.g{gpu}.b{index}``, ``load_bc`` reads and
+    ``store_c`` writes the block's C tiles (the block's columns crossed
+    with the rank's slice rows, restricted to the C shape).
+    """
+    accesses: AccessMap = {}
+    c_csr = plan.c_shape.csr
+    for proc in plan.procs:
+        c_slice_csc = c_csr[proc.a_slice_rows].tocsc()
+        for g in range(plan.grid.gpus_per_proc):
+            for bi, block in enumerate(proc.gpu_blocks(g)):
+                keys: list[tuple[str, int, int]] = []
+                for j in block.columns.tolist():
+                    rows = c_slice_csc.indices[
+                        c_slice_csc.indptr[j] : c_slice_csc.indptr[j + 1]
+                    ]
+                    keys.extend(
+                        ("C", int(proc.a_slice_rows[i]), int(j)) for i in rows
+                    )
+                base = f"p{proc.rank}.g{g}.b{bi}"
+                accesses[f"load_bc.{base}"] = [(k, "r") for k in keys]
+                accesses[f"store_c.{base}"] = [(k, "w") for k in keys]
+    return accesses
+
+
+def check_task_graph(
+    plan: ExecutionPlan, machine: MachineSpec, granularity: str = "chunk"
+) -> AnalysisReport:
+    """Expand ``plan`` on ``machine`` and run every task-graph check."""
+    graph = build_task_graph(plan, machine, granularity=granularity)
+    report = check_engine(graph.engine)
+    if any(f.rule == "D201" for f in report.findings):
+        return report  # happens-before is undefined on a cyclic graph
+    report.extend(check_conflicts(graph.engine, plan_tile_accesses(plan)))
+    return report

@@ -1,0 +1,277 @@
+"""AST concurrency lint for the repro source tree.
+
+Custom :mod:`ast` rules for the hazards that have actually bitten (or
+nearly bitten) the multi-process executor — the classes of bug a generic
+linter does not know about:
+
+* **L301** — a shared-memory segment (``SharedMemory(...)`` or a
+  ``TileArena.pack/allocate/attach`` factory) created outside any ``try``
+  whose ``finally``/``except`` calls ``.close()``/``.unlink()``, and not
+  handed off via an immediate ``return``.  Segments outlive the process;
+  an exception between creation and the cleanup path leaks them until
+  reboot.
+* **L302** — a ``Queue``/``Process``/``Pool`` created directly on the
+  ``multiprocessing`` module.  Start-method defaults differ per platform
+  (fork vs spawn); all primitives must come from an explicit
+  ``multiprocessing.get_context(...)`` so the executor controls it.
+* **L303** — legacy global-state numpy RNG calls (``np.random.seed``,
+  ``np.random.rand``, ...).  Global streams break the per-``(seed, tile)``
+  reproducibility the bit-for-bit crosschecks rely on; use
+  :mod:`repro.util.rng`.
+* **L304** — ``object.__setattr__(...)``: mutating a frozen dataclass
+  defeats the immutability shared plans rely on across processes.
+* **L305** — bare ``except:``: swallows ``KeyboardInterrupt`` /
+  ``SystemExit`` inside worker loops, turning a Ctrl-C into a hang.
+
+Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
+``noqa[all]``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from repro.analysis.findings import AnalysisReport, Finding, Location
+from repro.analysis.rules import get_rule
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+#: Legacy global-stream functions of ``numpy.random``.
+_LEGACY_RNG = {
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "random_integers", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "binomial",
+}
+
+#: Factories that hand back an owning handle to a shared-memory segment.
+_SHM_FACTORIES = {"pack", "allocate", "attach"}
+_SHM_FACTORY_OWNERS = {"TileArena", "cls"}
+
+#: Multiprocessing primitives that bake in the ambient start method.
+_MP_PRIMITIVES = {"Queue", "SimpleQueue", "JoinableQueue", "Process", "Pool"}
+
+
+def _noqa_rules(source: str) -> dict[int, set[str]]:
+    """Per-line suppressed rule ids from ``# repro: noqa[...]`` comments."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m:
+            out[lineno] = {r.strip().upper() if r.strip() != "all" else "ALL"
+                           for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure name chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _mp_aliases(tree: ast.Module) -> set[str]:
+    """Names the module binds to the ``multiprocessing`` package itself."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "multiprocessing":
+                    aliases.add(a.asname or "multiprocessing")
+    return aliases
+
+
+def _is_shm_creation(call: ast.Call) -> bool:
+    chain = _attr_chain(call.func)
+    if not chain:
+        return False
+    if chain[-1] == "SharedMemory":
+        return True
+    return (
+        len(chain) >= 2
+        and chain[-1] in _SHM_FACTORIES
+        and chain[-2] in _SHM_FACTORY_OWNERS
+    )
+
+
+class _Walker(ast.NodeVisitor):
+    """One pass collecting findings, tracking try/return context."""
+
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.findings: list[Finding] = []
+        # Stack of enclosing Try nodes that have a cleanup call
+        # (.close()/.unlink()) in a finally or except block.
+        self._cleanup_trys = 0
+        self._in_return = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = get_rule(rule_id)
+        self.findings.append(
+            Finding(
+                rule=rule_id,
+                severity=rule.severity,
+                location=Location(
+                    file=self.filename, line=getattr(node, "lineno", None)
+                ),
+                message=message,
+            )
+        )
+
+    @staticmethod
+    def _has_cleanup(try_node: ast.Try) -> bool:
+        regions: list[ast.AST] = list(try_node.finalbody)
+        for handler in try_node.handlers:
+            regions.extend(handler.body)
+        for region in regions:
+            for node in ast.walk(region):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("close", "unlink")
+                ):
+                    return True
+        return False
+
+    # -- visitors ------------------------------------------------------------
+
+    def visit_Try(self, node: ast.Try) -> None:
+        protected = self._has_cleanup(node)
+        if protected:
+            self._cleanup_trys += 1
+        # Handlers/finally themselves are not protected by this try.
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        if protected:
+            self._cleanup_trys -= 1
+        for handler in node.handlers:
+            self.visit(handler)
+        for stmt in node.finalbody:
+            self.visit(stmt)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self._in_return += 1
+        self.generic_visit(node)
+        self._in_return -= 1
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "L305",
+                node,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch a named exception (or at least 'except Exception')",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+
+        if _is_shm_creation(node):
+            if not self._cleanup_trys and not self._in_return:
+                self._emit(
+                    "L301",
+                    node,
+                    f"shared-memory segment created by "
+                    f"'{'.'.join(chain)}(...)' outside any try whose "
+                    f"finally/except closes or unlinks it; a failure before "
+                    f"cleanup leaks the segment until reboot",
+                )
+
+        if (
+            len(chain) == 2
+            and chain[1] in _MP_PRIMITIVES
+            and chain[0] in self._mp_aliases
+        ):
+            self._emit(
+                "L302",
+                node,
+                f"'{chain[0]}.{chain[1]}(...)' uses the platform-default "
+                f"start method; create it from an explicit "
+                f"multiprocessing.get_context(...) instead",
+            )
+
+        if (
+            len(chain) == 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] in _LEGACY_RNG
+        ):
+            self._emit(
+                "L303",
+                node,
+                f"legacy global RNG call '{'.'.join(chain)}(...)' breaks "
+                f"seeded reproducibility; use "
+                f"repro.util.rng.resolve_rng/spawn_rng",
+            )
+
+        if (
+            len(chain) == 2
+            and chain[0] == "object"
+            and chain[1] == "__setattr__"
+        ):
+            self._emit(
+                "L304",
+                node,
+                "object.__setattr__ mutates a frozen dataclass; construct a "
+                "new instance (dataclasses.replace) instead",
+            )
+
+        self.generic_visit(node)
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._mp_aliases = _mp_aliases(tree)
+        self.visit(tree)
+        return self.findings
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns its (unsuppressed) findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as e:
+        return [
+            Finding(
+                rule="L300",
+                severity=get_rule("L300").severity,
+                location=Location(file=filename, line=e.lineno),
+                message=f"could not parse: {e.msg}",
+            )
+        ]
+    findings = _Walker(filename).run(tree)
+    noqa = _noqa_rules(source)
+    kept = []
+    for f in findings:
+        suppressed = noqa.get(f.location.line or -1, set())
+        if "ALL" in suppressed or f.rule in suppressed:
+            continue
+        kept.append(f)
+    return kept
+
+
+def lint_paths(paths: list[str]) -> AnalysisReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = AnalysisReport()
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names)
+                    if n.endswith(".py")
+                )
+        else:
+            files.append(path)
+    for fname in files:
+        with open(fname, encoding="utf-8") as fh:
+            report.findings.extend(lint_source(fh.read(), filename=fname))
+    return report

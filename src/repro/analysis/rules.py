@@ -1,0 +1,128 @@
+"""The rule registry: every check the analysis subsystem can report.
+
+Rule ids are stable, grep-able, and grouped by layer:
+
+* ``P1xx`` — plan verifier (:mod:`repro.analysis.plan_checks`);
+* ``D2xx`` — task-graph checks (:mod:`repro.analysis.dag_checks`);
+* ``L3xx`` — AST concurrency lint (:mod:`repro.analysis.lint`).
+
+Lint findings may be suppressed per line with ``# repro: noqa[RULE]``
+(comma-separate several ids, or ``noqa[all]``); the structural P/D rules
+are never suppressible — a plan that violates them is wrong, not noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``P101``, ``D210``, ``L303``, ...).
+    title:
+        Short kebab-case name used in docs and rendered output.
+    severity:
+        Default severity of the rule's findings.
+    description:
+        One-sentence statement of the invariant the rule defends.
+    """
+
+    id: str
+    title: str
+    severity: Severity
+    description: str
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown analysis rule {rule_id!r}") from None
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (the docs' rule catalog)."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+E = Severity.ERROR
+W = Severity.WARNING
+
+# ---- P1xx: plan verifier ---------------------------------------------------
+
+register(Rule("P101", "plan-a-tile-missing", E,
+              "a chunk schedules an A tile that is absent from the A shape"))
+register(Rule("P102", "plan-b-tile-missing", E,
+              "a block's B-tile metadata disagrees with the B shape "
+              "(inner tile with no B tile in the block's columns, or "
+              "byte/count totals that do not match the shape)"))
+register(Rule("P103", "plan-c-ownership", E,
+              "a nonzero C tile is owned by zero or by more than one rank "
+              "(cross-rank write race or dropped output)"))
+register(Rule("P104", "plan-column-partition", E,
+              "the B tile columns of a grid row are not partitioned exactly "
+              "once across the row's processes"))
+register(Rule("P110", "plan-block-over-budget", E,
+              "a block's resident B+C footprint exceeds the block budget "
+              "(block_fraction of GPU memory) or 95% of the device"))
+register(Rule("P111", "plan-chunk-over-budget", E,
+              "a multi-tile chunk exceeds the chunk budget "
+              "(chunk_fraction of GPU memory)"))
+register(Rule("P112", "plan-prefetch-overflow", E,
+              "a block plus two in-flight chunks (double-buffered prefetch) "
+              "does not fit in GPU memory"))
+register(Rule("P113", "plan-gpu-imbalance", E,
+              "block counts per GPU of one process differ by more than one "
+              "(round-robin balance guarantee violated)"))
+register(Rule("P120", "plan-comm-mismatch", E,
+              "a process's stored communication volumes differ from the "
+              "volumes implied by the plan (inspector aggregate drift)"))
+
+# ---- D2xx: task-graph checks ----------------------------------------------
+
+register(Rule("D201", "dag-cycle", E,
+              "the task graph has a dependency cycle (the schedule deadlocks)"))
+register(Rule("D202", "dag-unknown-dep", E,
+              "a task depends on a task that does not exist"))
+register(Rule("D210", "dag-unordered-conflict", E,
+              "two tasks touch the same tile (write/write or read/write) "
+              "with no happens-before path between them"))
+
+# ---- L3xx: AST concurrency lint -------------------------------------------
+
+register(Rule("L300", "lint-parse-error", E,
+              "a file handed to the lint could not be parsed as Python"))
+register(Rule("L301", "shm-no-cleanup", W,
+              "a shared-memory segment (SharedMemory / TileArena) is created "
+              "outside any try whose finally/except closes or unlinks it, "
+              "and is not handed off via an immediate return"))
+register(Rule("L302", "mp-no-context", W,
+              "a multiprocessing Queue/Process/Pool is created directly on "
+              "the module instead of through an explicit "
+              "multiprocessing.get_context(...) start-method guard"))
+register(Rule("L303", "legacy-global-rng", W,
+              "a legacy global numpy RNG call (np.random.seed/rand/...) "
+              "breaks per-seed reproducibility; use repro.util.rng"))
+register(Rule("L304", "frozen-setattr", E,
+              "object.__setattr__ mutates a frozen dataclass, defeating the "
+              "immutability other threads/processes rely on"))
+register(Rule("L305", "bare-except", W,
+              "a bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+              "worker loops must catch named exceptions"))

@@ -7,7 +7,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``scaling``    — Figs. 7/8/9 (C65H132 strong scaling);
 * ``mpqc``       — the Section 5.2 CPU comparison;
 * ``advise``     — the tiling advisor (the paper's future work);
-* ``selftest``   — numeric end-to-end check of the distributed plan.
+* ``selftest``   — numeric end-to-end check of the distributed plan;
+* ``analyze``    — static plan verifier + task-graph checks (CI gate);
+* ``lint``       — AST concurrency lint over the source tree (CI gate).
 """
 
 from __future__ import annotations
@@ -113,7 +115,8 @@ def _cmd_selftest(args) -> int:
         from repro.dist import FaultPlan
 
         fault_plan = (
-            FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+            FaultPlan.parse(args.inject_fault, nranks=args.procs)
+            if args.inject_fault else None
         )
         rows = random_tiling(400, 30, 120, seed=args.seed)
         inner = random_tiling(1200, 30, 120, seed=args.seed + 1)
@@ -141,6 +144,40 @@ def _cmd_selftest(args) -> int:
     print(f"distributed plan executed {stats.ntasks} GEMM tasks; "
           f"matches dense reference: {ok}")
     return 0 if ok else 1
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import check_task_graph, verify_plan
+    from repro.core import psgemm_plan
+    from repro.machine import summit
+    from repro.sparse import random_block_sparse
+    from repro.tiling import random_tiling
+
+    rows = random_tiling(400, 30, 120, seed=args.seed)
+    inner = random_tiling(1200, 30, 120, seed=args.seed + 1)
+    a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
+    b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
+    machine = summit(args.nodes)
+    plan = psgemm_plan(a.sparse_shape(), b.sparse_shape(), machine, p=args.procs)
+
+    report = verify_plan(plan)
+    report.extend(check_task_graph(plan, machine))
+    print(f"analyzed plan: {plan.grid.nprocs} rank(s), "
+          f"{sum(len(pp.blocks) for pp in plan.procs)} block(s)")
+    print(report.render())
+    return report.exit_code()
+
+
+def _cmd_lint(args) -> int:
+    import os
+
+    import repro
+    from repro.analysis import lint_paths
+
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    report = lint_paths(paths)
+    print(report.render())
+    return report.exit_code()
 
 
 def _cmd_export(args) -> int:
@@ -198,6 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "tasks and verify the retry/reassign recovery still "
                          "produces the exact result")
     st.set_defaults(func=_cmd_selftest)
+
+    an = sub.add_parser(
+        "analyze",
+        help="statically verify an inspector-built plan and its task graph",
+    )
+    an.add_argument("--procs", type=int, default=3,
+                    help="grid rows (ranks) for the analyzed plan")
+    an.add_argument("--nodes", type=int, default=3,
+                    help="machine size (Summit-like nodes)")
+    an.set_defaults(func=_cmd_analyze)
+
+    li = sub.add_parser("lint", help="AST concurrency lint (nonzero exit on findings)")
+    li.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: the installed "
+                         "repro package tree)")
+    li.set_defaults(func=_cmd_lint)
 
     ex = sub.add_parser("export", help="dump all experiment data as JSON")
     ex.add_argument("-o", "--output", default="results.json")

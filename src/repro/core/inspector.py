@@ -408,14 +408,25 @@ def _screened_tile_aggregates(kk, bnorm, b_nwidths, ak, anorm, tau, nK):
     return t_cnt, t_nsum
 
 
-def _fill_comm_volumes(plan: ExecutionPlan) -> None:
-    """Compute internode A/C traffic per process (Section 3.2.4)."""
+def expected_comm_volumes(plan: ExecutionPlan) -> dict[int, dict[str, int]]:
+    """Internode A/C traffic per rank implied by the plan (Section 3.2.4).
+
+    Pure recomputation from the plan's needed-tile sets and shapes; the
+    inspector assigns these onto the :class:`ProcPlan` s, and the plan
+    verifier (:mod:`repro.analysis.plan_checks`) compares them against the
+    stored values to detect aggregate drift.
+    """
     grid = plan.grid
     nK = plan.a_shape.ntile_cols
     m = plan.a_shape.rows.sizes.astype(np.int64)
     k = plan.a_shape.cols.sizes.astype(np.int64)
     n = plan.b_shape.cols.sizes.astype(np.int64)
 
+    out = {
+        pp.rank: {"a_recv_bytes": 0, "a_send_bytes": 0,
+                  "c_send_bytes": 0, "c_recv_bytes": 0}
+        for pp in plan.procs
+    }
     for r in range(grid.p):
         row_procs = [pp for pp in plan.procs if pp.row == r]
         # A: tiles needed but owned elsewhere in the grid row.
@@ -423,7 +434,7 @@ def _fill_comm_volumes(plan: ExecutionPlan) -> None:
             owner_col = pp.a_needed_cols % grid.q
             bytes_each = m[pp.a_needed_rows] * k[pp.a_needed_cols] * DTYPE_BYTES
             remote = owner_col != pp.col
-            pp.a_recv_bytes = int(bytes_each[remote].sum())
+            out[pp.rank]["a_recv_bytes"] = int(bytes_each[remote].sum())
         # Senders inject each owned tile into the broadcast *once* if any
         # remote process needs it (PaRSEC disseminates along a pipelined
         # tree, so forwarding is absorbed into the receivers' volumes).
@@ -442,21 +453,32 @@ def _fill_comm_volumes(plan: ExecutionPlan) -> None:
                 uk = uniq % nK
                 np.add.at(send, uk % grid.q, m[ui] * k[uk] * DTYPE_BYTES)
         for pp in row_procs:
-            pp.a_send_bytes = int(send[pp.col])
+            out[pp.rank]["a_send_bytes"] = int(send[pp.col])
 
         # C: produced at (r, l); final home is 2D-cyclic at (j mod q).
         recv_c = np.zeros(grid.q, dtype=np.int64)
         for pp in row_procs:
             c_sub = plan.c_shape.csr[pp.a_slice_rows][:, pp.columns].tocoo()
             if c_sub.nnz == 0:
-                pp.c_send_bytes = 0
                 continue
             gi = pp.a_slice_rows[c_sub.row]
             gj = pp.columns[c_sub.col]
             bytes_each = m[gi] * n[gj] * DTYPE_BYTES
             home = gj % grid.q
             moved = home != pp.col
-            pp.c_send_bytes = int(bytes_each[moved].sum())
+            out[pp.rank]["c_send_bytes"] = int(bytes_each[moved].sum())
             np.add.at(recv_c, home[moved], bytes_each[moved])
         for pp in row_procs:
-            pp.c_recv_bytes = int(recv_c[pp.col])
+            out[pp.rank]["c_recv_bytes"] = int(recv_c[pp.col])
+    return out
+
+
+def _fill_comm_volumes(plan: ExecutionPlan) -> None:
+    """Assign the Section 3.2.4 traffic volumes onto every process plan."""
+    volumes = expected_comm_volumes(plan)
+    for pp in plan.procs:
+        vols = volumes[pp.rank]
+        pp.a_recv_bytes = vols["a_recv_bytes"]
+        pp.a_send_bytes = vols["a_send_bytes"]
+        pp.c_send_bytes = vols["c_send_bytes"]
+        pp.c_recv_bytes = vols["c_recv_bytes"]

@@ -49,6 +49,32 @@ class PlanOptions:
     assignment_policy: str = "mirrored"
     screen_threshold: float | None = None
 
+    def __post_init__(self) -> None:
+        if not 0.0 < self.block_fraction <= 1.0:
+            raise ValueError(
+                f"block_fraction must be in (0, 1], got "
+                f"{self.block_fraction!r}; the paper default is 0.5"
+            )
+        if not 0.0 < self.chunk_fraction <= 0.5:
+            raise ValueError(
+                f"chunk_fraction must be in (0, 0.5], got "
+                f"{self.chunk_fraction!r}; the paper default is 0.25 "
+                f"(the mirror 25% is the prefetch buffer)"
+            )
+        if self.block_fraction + 2 * self.chunk_fraction > 1.0 + 1e-12:
+            raise ValueError(
+                f"block_fraction + 2*chunk_fraction must not exceed GPU "
+                f"memory: {self.block_fraction} + 2*{self.chunk_fraction} = "
+                f"{self.block_fraction + 2 * self.chunk_fraction:.3f} > 1; "
+                f"shrink one so a resident block plus a double-buffered "
+                f"chunk pair fits the device"
+            )
+        if self.screen_threshold is not None and self.screen_threshold <= 0:
+            raise ValueError(
+                f"screen_threshold must be positive (or None to disable "
+                f"screening), got {self.screen_threshold!r}"
+            )
+
 
 @dataclass
 class Chunk:

@@ -105,6 +105,7 @@ def psgemm_distributed(
     b_shape: SparseShape | None = None,
     alpha: float = 1.0,
     beta: float = 1.0,
+    verify_plan: bool = False,
     **dist_kwargs,
 ):
     """Execute ``C <- beta*C + alpha*A @ B`` across real worker processes.
@@ -115,6 +116,12 @@ def psgemm_distributed(
     on-demand B service, prefetch overlap, fault recovery).  The result is
     bit-for-bit identical to :func:`psgemm_numeric` for the same seeds —
     the serial executor is the crosscheck oracle.
+
+    With ``verify_plan=True`` the static plan verifier
+    (:func:`repro.analysis.verify_plan`) audits the inspector's plan —
+    coverage, memory budgets, comm consistency — and raises
+    :class:`repro.analysis.PlanVerificationError` before any worker
+    process is spawned if it finds a violation.
 
     Extra keyword arguments (``fault_plan``, ``max_retries``,
     ``allow_reassign``, ``timeout``) pass through to the coordinator.
@@ -139,5 +146,6 @@ def psgemm_distributed(
         options=options,
     )
     return execute_plan_distributed(
-        plan, a, b, c=c, alpha=alpha, beta=beta, **dist_kwargs
+        plan, a, b, c=c, alpha=alpha, beta=beta, verify_plan=verify_plan,
+        **dist_kwargs
     )

@@ -93,6 +93,7 @@ def execute_plan_distributed(
     allow_reassign: bool = True,
     timeout: float = 120.0,
     start_method: str | None = None,
+    verify_plan: bool = False,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -100,12 +101,27 @@ def execute_plan_distributed(
     :func:`~repro.runtime.numeric.execute_plan` result for the same
     operands and seeds.  ``fault_plan`` sabotages workers for recovery
     testing; ``max_retries``/``allow_reassign`` tune the recovery policy
-    (retry-once-then-reassign by default).
+    (retry-once-then-reassign by default).  ``verify_plan=True`` runs the
+    static plan verifier (:func:`repro.analysis.verify_plan`) first and
+    raises :class:`repro.analysis.PlanVerificationError` on any finding —
+    a corrupted plan is rejected before a single worker process spawns or
+    a single shared-memory segment is created.
     """
+    if verify_plan:
+        from repro.analysis import assert_plan_valid  # late import: avoid cycle
+
+        assert_plan_valid(plan)
     if isinstance(b, MatrixSource):
         b = b.matrix
     require(a.rows == plan.a_shape.rows and a.cols == plan.a_shape.cols, "A tilings differ from plan")
     require(a.cols == plan.b_shape.rows, "A and B do not conform")
+    if fault_plan is not None:
+        for inj in fault_plan.injections:
+            require(
+                inj.rank < plan.grid.nprocs,
+                f"fault injection targets rank {inj.rank}, but the plan has "
+                f"only {plan.grid.nprocs} rank(s)",
+            )
 
     ctx = mp.get_context(start_method or _start_method())
     nranks = plan.grid.nprocs

@@ -43,8 +43,12 @@ class FaultInjection:
     def __post_init__(self) -> None:
         if self.kind not in ("kill", "delay"):
             raise ValueError(f"unknown fault kind {self.kind!r}; use 'kill' or 'delay'")
+        if self.rank < 0:
+            raise ValueError(f"fault rank must be >= 0, got {self.rank}")
         if self.at_task < 1:
             raise ValueError("at_task is 1-based and must be >= 1")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds!r}")
 
     def armed(self, attempt: int) -> bool:
         """Whether this fault fires on the given (0-based) attempt."""
@@ -69,18 +73,53 @@ class FaultPlan:
         )
 
     @classmethod
-    def parse(cls, spec: str) -> "FaultPlan":
-        """Parse a CLI ``RANK:TASK[:kill|delay]`` spec."""
-        parts = spec.split(":")
-        if len(parts) not in (2, 3):
-            raise ValueError(f"bad fault spec {spec!r}; expected RANK:TASK[:kill|delay]")
-        rank, task = int(parts[0]), int(parts[1])
-        kind = parts[2] if len(parts) == 3 else "kill"
-        if kind == "delay":
-            return cls.delay(rank, task)
-        if kind != "kill":
-            raise ValueError(f"bad fault kind {kind!r}; expected kill or delay")
-        return cls.kill(rank, task)
+    def parse(cls, spec: str, nranks: int | None = None) -> "FaultPlan":
+        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay]``, comma-separated
+        for several ranks.
+
+        ``nranks`` (when known) bounds the rank field; duplicate ranks are
+        rejected because at most one injection per rank is honoured.
+        """
+        injections: list[FaultInjection] = []
+        seen: set[int] = set()
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: empty entry; expected "
+                    f"comma-separated RANK:TASK[:kill|delay]"
+                )
+            fields = part.split(":")
+            if len(fields) not in (2, 3):
+                raise ValueError(
+                    f"bad fault spec {part!r}; expected RANK:TASK[:kill|delay]"
+                )
+            try:
+                rank, task = int(fields[0]), int(fields[1])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {part!r}: RANK and TASK must be integers"
+                ) from None
+            kind = fields[2] if len(fields) == 3 else "kill"
+            if kind not in ("kill", "delay"):
+                raise ValueError(
+                    f"bad fault kind {kind!r} in {part!r}; expected kill or delay"
+                )
+            if rank < 0:
+                raise ValueError(f"bad fault spec {part!r}: rank must be >= 0")
+            if nranks is not None and rank >= nranks:
+                raise ValueError(
+                    f"bad fault spec {part!r}: rank {rank} out of range for "
+                    f"{nranks} worker(s) (valid ranks: 0..{nranks - 1})"
+                )
+            if rank in seen:
+                raise ValueError(
+                    f"duplicate fault spec for rank {rank}: at most one "
+                    f"injection per rank is honoured"
+                )
+            seen.add(rank)
+            injections.append(FaultInjection(rank=rank, at_task=task, kind=kind))
+        return cls(tuple(injections))
 
     def for_rank(self, rank: int) -> FaultInjection | None:
         for inj in self.injections:

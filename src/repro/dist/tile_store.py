@@ -80,21 +80,39 @@ class TileArena:
     @classmethod
     def pack(cls, tag: str, tiles) -> "TileArena":
         """Create a segment sized for ``tiles`` (``(key, ndarray)`` pairs)
-        and copy every tile in."""
+        and copy every tile in.  If any copy fails (duplicate key, sizing
+        bug) the half-filled segment is unlinked before re-raising — the
+        caller never sees, and can never leak, a partially packed arena."""
         tiles = list(tiles)
         total = sum(arr.nbytes for _, arr in tiles)
-        arena = cls.allocate(tag, total)
-        for key, arr in tiles:
-            arena.put(key, arr)
-        return arena
+        arena = None
+        try:
+            arena = cls.allocate(tag, total)
+            for key, arr in tiles:
+                arena.put(key, arr)
+            return arena
+        except BaseException:
+            if arena is not None:
+                arena.unlink()
+            raise
 
     @classmethod
     def allocate(cls, tag: str, nbytes: int) -> "TileArena":
         """Create an empty arena of capacity ``nbytes`` (at least 1 byte)."""
         name = next_segment_name(tag)
-        shm = shared_memory.SharedMemory(name=name, create=True, size=max(int(nbytes), 1))
-        _ACTIVE_SEGMENTS.add(name)
-        return cls(shm, ArenaMeta(name=name, size=shm.size), owner=True)
+        shm = None
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(int(nbytes), 1)
+            )
+            _ACTIVE_SEGMENTS.add(name)
+            return cls(shm, ArenaMeta(name=name, size=shm.size), owner=True)
+        except BaseException:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            _ACTIVE_SEGMENTS.discard(name)
+            raise
 
     @classmethod
     def attach(cls, meta: ArenaMeta) -> "TileArena":
@@ -104,8 +122,14 @@ class TileArena:
         # and its cache is a set, so the re-registration is a no-op and the
         # coordinator's unlink deregisters exactly once.  Unregistering here
         # would instead race the coordinator and double-remove.
-        shm = shared_memory.SharedMemory(name=meta.name)
-        return cls(shm, meta, owner=False)
+        shm = None
+        try:
+            shm = shared_memory.SharedMemory(name=meta.name)
+            return cls(shm, meta, owner=False)
+        except BaseException:
+            if shm is not None:
+                shm.close()
+            raise
 
     # -- access --------------------------------------------------------------
 

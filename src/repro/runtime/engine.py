@@ -79,6 +79,12 @@ class DiscreteEventEngine:
     def ntasks(self) -> int:
         return len(self._tasks)
 
+    def tasks(self) -> dict[str, SimTask]:
+        """A snapshot of the loaded tasks by name (read-only view for
+        static analysis; mutating the returned dict does not affect the
+        engine)."""
+        return dict(self._tasks)
+
     def run(self) -> Trace:
         """Simulate to completion; raises on cycles or missing deps."""
         tasks = self._tasks

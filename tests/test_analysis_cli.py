@@ -1,0 +1,49 @@
+"""CLI contract for ``repro analyze`` / ``repro lint``: exit codes + output."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        assert main(["lint", str(f)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "try:\n"
+            "    pass\n"
+            "except:\n"
+            "    pass\n"
+        )
+        assert main(["lint", str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "[L303]" in out and "[L305]" in out
+        assert "2 finding(s)" in out
+        assert f"{f}:2" in out
+
+    def test_default_path_is_source_tree(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_inspector_plan_analyzes_clean(self, capsys):
+        assert main(["analyze", "--procs", "2", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed plan: 2 rank(s)" in out
+        assert "no findings" in out
+
+
+class TestSelftestFaultSpec:
+    def test_out_of_range_fault_rank_rejected_early(self):
+        """--inject-fault is validated against --procs before any worker
+        process or plan is built."""
+        with pytest.raises(ValueError, match="out of range"):
+            main(["selftest", "--procs", "2", "--inject-fault", "5:1"])

@@ -1,0 +1,144 @@
+"""Task-graph check tests: cycles, unknown deps, unordered conflicts."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_conflicts,
+    check_engine,
+    check_task_graph,
+    plan_tile_accesses,
+)
+from repro.core import psgemm_plan
+from repro.machine import summit
+from repro.runtime.engine import DiscreteEventEngine, Resource, SimTask
+from repro.sparse import random_block_sparse
+from repro.tiling import random_tiling
+
+
+def _engine(tasks):
+    eng = DiscreteEventEngine([Resource("r", capacity=4)])
+    eng.add_tasks(tasks)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def plan_and_machine():
+    rows = random_tiling(400, 30, 120, seed=0)
+    inner = random_tiling(1200, 30, 120, seed=1)
+    a = random_block_sparse(rows, inner, 0.5, seed=2)
+    b = random_block_sparse(inner, inner, 0.5, seed=3)
+    machine = summit(4)
+    plan = psgemm_plan(a.sparse_shape(), b.sparse_shape(), machine, p=2)
+    return plan, machine
+
+
+class TestEngineChecks:
+    def test_acyclic_graph_clean(self):
+        eng = _engine([
+            SimTask("a", "r", 1.0),
+            SimTask("b", "r", 1.0, deps=("a",)),
+            SimTask("c", "r", 1.0, deps=("a", "b")),
+        ])
+        assert check_engine(eng).ok
+
+    def test_cycle_fires_d201(self):
+        eng = _engine([
+            SimTask("a", "r", 1.0, deps=("c",)),
+            SimTask("b", "r", 1.0, deps=("a",)),
+            SimTask("c", "r", 1.0, deps=("b",)),
+            SimTask("free", "r", 1.0),
+        ])
+        report = check_engine(eng)
+        assert report.rules_fired() == {"D201"}
+        assert "3 tasks" in report.findings[0].message
+
+    def test_unknown_dep_fires_d202(self):
+        eng = _engine([SimTask("a", "r", 1.0, deps=("ghost",))])
+        report = check_engine(eng)
+        assert report.rules_fired() == {"D202"}
+        assert "ghost" in report.findings[0].message
+
+
+class TestConflictChecks:
+    def test_ordered_accesses_clean(self):
+        eng = _engine([
+            SimTask("w1", "r", 1.0),
+            SimTask("w2", "r", 1.0, deps=("w1",)),
+        ])
+        accesses = {"w1": [(("C", 0, 0), "w")], "w2": [(("C", 0, 0), "w")]}
+        assert check_conflicts(eng, accesses).ok
+
+    def test_transitively_ordered_accesses_clean(self):
+        eng = _engine([
+            SimTask("w1", "r", 1.0),
+            SimTask("mid", "r", 1.0, deps=("w1",)),
+            SimTask("w2", "r", 1.0, deps=("mid",)),
+        ])
+        accesses = {"w1": [(("C", 0, 0), "w")], "w2": [(("C", 0, 0), "w")]}
+        assert check_conflicts(eng, accesses).ok
+
+    def test_unordered_writes_fire_d210(self):
+        eng = _engine([SimTask("w1", "r", 1.0), SimTask("w2", "r", 1.0)])
+        accesses = {"w1": [(("C", 0, 0), "w")], "w2": [(("C", 0, 0), "w")]}
+        report = check_conflicts(eng, accesses)
+        assert report.rules_fired() == {"D210"}
+        assert "write/write" in report.findings[0].message
+
+    def test_unordered_read_write_fires_d210(self):
+        eng = _engine([SimTask("rd", "r", 1.0), SimTask("wr", "r", 1.0)])
+        accesses = {"rd": [(("C", 1, 2), "r")], "wr": [(("C", 1, 2), "w")]}
+        report = check_conflicts(eng, accesses)
+        assert report.rules_fired() == {"D210"}
+        assert "read/write" in report.findings[0].message
+
+    def test_concurrent_reads_clean(self):
+        eng = _engine([SimTask("r1", "r", 1.0), SimTask("r2", "r", 1.0)])
+        accesses = {"r1": [(("C", 0, 0), "r")], "r2": [(("C", 0, 0), "r")]}
+        assert check_conflicts(eng, accesses).ok
+
+    def test_different_tiles_clean(self):
+        eng = _engine([SimTask("w1", "r", 1.0), SimTask("w2", "r", 1.0)])
+        accesses = {"w1": [(("C", 0, 0), "w")], "w2": [(("C", 0, 1), "w")]}
+        assert check_conflicts(eng, accesses).ok
+
+
+class TestPlanTaskGraph:
+    def test_healthy_plan_graph_clean(self, plan_and_machine):
+        plan, machine = plan_and_machine
+        report = check_task_graph(plan, machine)
+        assert report.ok, report.render()
+
+    def test_accesses_cover_every_block(self, plan_and_machine):
+        plan, _ = plan_and_machine
+        accesses = plan_tile_accesses(plan)
+        nblocks = sum(len(p.blocks) for p in plan.procs)
+        loads = [k for k in accesses if k.startswith("load_bc.")]
+        stores = [k for k in accesses if k.startswith("store_c.")]
+        assert len(loads) == len(stores) == nblocks
+        # store_c writes exactly what load_bc reads, per block.
+        for load in loads:
+            store = load.replace("load_bc.", "store_c.")
+            assert [k for k, _ in accesses[load]] == [
+                k for k, _ in accesses[store]
+            ]
+
+    def test_duplicated_block_columns_fire_d210(self, plan_and_machine):
+        """Two ranks in one grid row claiming the same B columns is a
+        cross-rank write race on their shared C tiles."""
+        plan, machine = plan_and_machine
+        plan = copy.deepcopy(plan)
+        row0 = [p for p in plan.procs if p.row == 0]
+        assert len(row0) >= 2
+        src, dst = row0[0], row0[1]
+        stolen = src.blocks[0].columns
+        dst.blocks[0].columns = np.array(stolen, copy=True)
+        report = check_task_graph(plan, machine)
+        assert "D210" in report.rules_fired(), report.render()
+        racy = [f for f in report.findings if f.rule == "D210"]
+        assert any(
+            f"p{src.rank}." in f.message and f"p{dst.rank}." in f.message
+            for f in racy
+        )

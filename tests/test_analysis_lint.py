@@ -1,0 +1,207 @@
+"""AST concurrency-lint tests: each rule, suppression, and the clean tree."""
+
+import os
+import textwrap
+
+import repro
+from repro.analysis import lint_paths, lint_source
+
+
+def _lint(src):
+    return lint_source(textwrap.dedent(src), filename="fixture.py")
+
+
+def _rules(src):
+    return {f.rule for f in _lint(src)}
+
+
+class TestShmCleanup:
+    def test_unprotected_creation_fires_l301(self):
+        findings = _lint("""
+            from multiprocessing import shared_memory
+
+            def make():
+                shm = shared_memory.SharedMemory(name="x", create=True, size=64)
+                shm.buf[0] = 1
+        """)
+        assert {f.rule for f in findings} == {"L301"}
+        assert findings[0].location.line == 5
+        assert "leaks the segment" in findings[0].message
+
+    def test_arena_factory_fires_l301(self):
+        assert _rules("""
+            def make(tiles):
+                arena = TileArena.pack("a", tiles)
+                return arena.meta()
+        """) == {"L301"}
+
+    def test_try_finally_close_is_clean(self):
+        assert _rules("""
+            from multiprocessing import shared_memory
+
+            def make():
+                try:
+                    shm = shared_memory.SharedMemory(name="x", create=True, size=64)
+                    use(shm)
+                finally:
+                    shm.close()
+        """) == set()
+
+    def test_except_unlink_is_clean(self):
+        assert _rules("""
+            def make(tiles):
+                try:
+                    arena = TileArena.allocate("a", 64)
+                    fill(arena, tiles)
+                except BaseException:
+                    arena.unlink()
+                    raise
+        """) == set()
+
+    def test_immediate_return_is_clean(self):
+        assert _rules("""
+            def attach(meta):
+                return TileArena.attach(meta)
+        """) == set()
+
+    def test_handler_body_not_protected_by_own_try(self):
+        # A segment created *inside* the except block is outside the
+        # region the try's cleanup covers.
+        assert "L301" in _rules("""
+            def make():
+                try:
+                    x = reuse()
+                except KeyError:
+                    x = TileArena.allocate("a", 64)
+                finally:
+                    log.close()
+        """)
+
+
+class TestMpContext:
+    def test_module_level_queue_fires_l302(self):
+        findings = _lint("""
+            import multiprocessing
+
+            q = multiprocessing.Queue()
+        """)
+        assert {f.rule for f in findings} == {"L302"}
+        assert "get_context" in findings[0].message
+
+    def test_aliased_import_fires_l302(self):
+        assert _rules("""
+            import multiprocessing as mp
+
+            p = mp.Process(target=f)
+        """) == {"L302"}
+
+    def test_context_primitives_clean(self):
+        assert _rules("""
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+            q = ctx.Queue()
+            p = ctx.Process(target=f)
+        """) == set()
+
+
+class TestLegacyRng:
+    def test_np_random_seed_fires_l303(self):
+        findings = _lint("""
+            import numpy as np
+
+            np.random.seed(0)
+            x = np.random.rand(3)
+        """)
+        assert [f.rule for f in findings] == ["L303", "L303"]
+
+    def test_generator_api_clean(self):
+        assert _rules("""
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            x = rng.random(3)
+        """) == set()
+
+
+class TestFrozenSetattr:
+    def test_object_setattr_fires_l304(self):
+        assert _rules("""
+            def thaw(plan):
+                object.__setattr__(plan, "rank", 3)
+        """) == {"L304"}
+
+
+class TestBareExcept:
+    def test_bare_except_fires_l305(self):
+        findings = _lint("""
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+        """)
+        assert {f.rule for f in findings} == {"L305"}
+
+    def test_named_except_clean(self):
+        assert _rules("""
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+        """) == set()
+
+
+class TestParseAndSuppression:
+    def test_syntax_error_fires_l300(self):
+        findings = _lint("def f(:\n")
+        assert [f.rule for f in findings] == ["L300"]
+
+    def test_noqa_suppresses_named_rule(self):
+        assert _rules("""
+            import numpy as np
+
+            np.random.seed(0)  # repro: noqa[L303]
+        """) == set()
+
+    def test_noqa_all_suppresses_everything(self):
+        assert _rules("""
+            import multiprocessing
+
+            q = multiprocessing.Queue()  # repro: noqa[all]
+        """) == set()
+
+    def test_noqa_wrong_rule_keeps_finding(self):
+        assert _rules("""
+            import numpy as np
+
+            np.random.seed(0)  # repro: noqa[L301]
+        """) == {"L303"}
+
+    def test_noqa_comma_separated(self):
+        assert _rules("""
+            import numpy as np
+            import multiprocessing
+
+            q = multiprocessing.Queue(np.random.rand())  # repro: noqa[L302, L303]
+        """) == set()
+
+
+class TestSourceTree:
+    def test_repro_package_lints_clean(self):
+        """The shipped source tree must stay lint-clean — this is the same
+        gate `make analyze` and CI run."""
+        report = lint_paths([os.path.dirname(repro.__file__)])
+        assert report.ok, report.render()
+
+    def test_lint_paths_exit_code_contract(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.exit_code() == 1
+        assert [f.rule for f in report.findings] == ["L303"]
+        assert report.findings[0].location.file == str(bad)
+        assert lint_paths([str(clean)]).exit_code() == 0

@@ -1,0 +1,84 @@
+"""Fault-spec parsing edge cases (``RANK:TASK[:kill|delay]`` strings)."""
+
+import pytest
+
+from repro.dist import FaultInjection, FaultPlan
+
+
+class TestParseValid:
+    def test_minimal_kill(self):
+        plan = FaultPlan.parse("1:20")
+        assert plan.for_rank(1) == FaultInjection(rank=1, at_task=20, kind="kill")
+        assert plan.for_rank(0) is None
+
+    def test_explicit_kinds(self):
+        assert FaultPlan.parse("0:3:delay").for_rank(0).kind == "delay"
+        assert FaultPlan.parse("0:3:kill").for_rank(0).kind == "kill"
+
+    def test_multiple_specs(self):
+        plan = FaultPlan.parse("0:1:kill,2:5:delay")
+        assert len(plan.injections) == 2
+        assert plan.for_rank(2).at_task == 5
+
+    def test_whitespace_tolerated(self):
+        plan = FaultPlan.parse(" 0:1 , 1:2:delay ")
+        assert plan.for_rank(1).kind == "delay"
+
+    def test_in_range_with_nranks(self):
+        plan = FaultPlan.parse("3:7", nranks=4)
+        assert plan.for_rank(3).at_task == 7
+
+
+class TestParseMalformed:
+    @pytest.mark.parametrize("spec", ["nope", "1", "1:2:kill:extra", "::"])
+    def test_wrong_field_count_or_shape(self, spec):
+        with pytest.raises(ValueError, match="bad fault"):
+            FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize("spec", ["a:1", "1:b", "1.5:2", "one:two"])
+    def test_non_integer_fields(self, spec):
+        with pytest.raises(ValueError, match="must be integers"):
+            FaultPlan.parse(spec)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="expected kill or delay"):
+            FaultPlan.parse("0:5:explode")
+
+    def test_empty_entry(self):
+        with pytest.raises(ValueError, match="empty entry"):
+            FaultPlan.parse("0:1,,1:2")
+
+    def test_zero_task_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan.parse("0:0")
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan.parse("-1:2")
+
+
+class TestParseRanges:
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError, match=r"valid ranks: 0\.\.3"):
+            FaultPlan.parse("4:1", nranks=4)
+
+    def test_unbounded_without_nranks(self):
+        assert FaultPlan.parse("99:1").for_rank(99) is not None
+
+    def test_duplicate_rank_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan.parse("1:2,1:5:delay")
+
+
+class TestInjectionValidation:
+    def test_negative_rank(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultInjection(rank=-1, at_task=1)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError, match="delay_seconds"):
+            FaultInjection(rank=0, at_task=1, kind="delay", delay_seconds=-0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultInjection(rank=0, at_task=1, kind="explode")
