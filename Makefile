@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist analyze bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke analyze bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,12 @@ analyze:
 # CLI round-trips); budgeted at 120 s so a hung worker can never wedge CI.
 test-dist:
 	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
+
+# Observability smoke test: trace a tiny 2-worker run end to end, then
+# prove the artifact is a loadable Chrome trace (non-empty "X" events).
+trace-smoke:
+	PYTHONPATH=src timeout 120 python -m repro trace --procs 2 --m 150 --k 450 -o /tmp/repro-trace.json
+	PYTHONPATH=src python -c "import json; evs = json.load(open('/tmp/repro-trace.json'))['traceEvents']; assert evs and all(e['ph'] == 'X' and e['dur'] >= 0 for e in evs), 'bad trace'; print(f'trace-smoke OK: {len(evs)} events')"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -65,14 +65,19 @@ def test_dist_executor_speedup(benchmark):
     for nworkers, t_serial, t_dist, report in points:
         tasks = report.stats.per_proc_tasks
         balance = max(tasks.values()) / max(min(tasks.values()), 1)
+        util = report.rank_utilization()
+        qwait = report.queue_wait_seconds()
         rows.append(
             [nworkers, f"{t_serial:7.2f}", f"{t_dist:7.2f}",
              f"{t_serial / t_dist:6.2f}x", f"{balance:6.2f}",
+             " ".join(f"{util.get(r, 0.0):.0%}" for r in sorted(tasks)),
+             f"{sum(qwait.values()):6.2f}",
              " ".join(str(tasks[r]) for r in sorted(tasks))]
         )
     print("\nSerial execute_plan vs multi-process executor (same plan, exact match)")
     print(fmt_table(
-        ["workers", "serial (s)", "dist (s)", "speedup", "max/min", "tasks per rank"],
+        ["workers", "serial (s)", "dist (s)", "speedup", "max/min",
+         "busy per rank", "qwait (s)", "tasks per rank"],
         rows,
     ))
 

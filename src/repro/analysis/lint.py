@@ -22,6 +22,12 @@ linter does not know about:
   defeats the immutability shared plans rely on across processes.
 * **L305** — bare ``except:``: swallows ``KeyboardInterrupt`` /
   ``SystemExit`` inside worker loops, turning a Ctrl-C into a hang.
+* **L306** — ``time.time()`` inside :mod:`repro.dist` (any file under a
+  ``dist`` directory): the executor's clocks and deadlines are
+  run-relative, and a stepping wall clock (NTP) can fire or suppress the
+  fault-recovery deadline or produce negative durations.  Use
+  ``time.monotonic()``; the one permitted wall stamp (report labeling /
+  clock alignment) carries a ``# repro: noqa[L306]``.
 
 Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
 ``noqa[all]``) to the offending line.
@@ -51,6 +57,12 @@ _SHM_FACTORY_OWNERS = {"TileArena", "cls"}
 
 #: Multiprocessing primitives that bake in the ambient start method.
 _MP_PRIMITIVES = {"Queue", "SimpleQueue", "JoinableQueue", "Process", "Pool"}
+
+
+def _in_dist_tree(filename: str) -> bool:
+    """Whether a path lies inside the distributed executor package."""
+    parts = os.path.normpath(filename).replace("\\", "/").split("/")
+    return "dist" in parts
 
 
 def _noqa_rules(source: str) -> dict[int, set[str]]:
@@ -105,6 +117,7 @@ class _Walker(ast.NodeVisitor):
 
     def __init__(self, filename: str):
         self.filename = filename
+        self._in_dist = _in_dist_tree(filename)
         self.findings: list[Finding] = []
         # Stack of enclosing Try nodes that have a cleanup call
         # (.close()/.unlink()) in a finally or except block.
@@ -211,6 +224,21 @@ class _Walker(ast.NodeVisitor):
                 f"legacy global RNG call '{'.'.join(chain)}(...)' breaks "
                 f"seeded reproducibility; use "
                 f"repro.util.rng.resolve_rng/spawn_rng",
+            )
+
+        if (
+            self._in_dist
+            and len(chain) == 2
+            and chain[0] == "time"
+            and chain[1] == "time"
+        ):
+            self._emit(
+                "L306",
+                node,
+                "time.time() in repro.dist: run-relative clocks and "
+                "deadlines must use time.monotonic() (a wall-clock step "
+                "breaks deadlines and durations); suppress a deliberate "
+                "wall stamp with # repro: noqa[L306]",
             )
 
         if (

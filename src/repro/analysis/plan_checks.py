@@ -13,7 +13,8 @@ instead of failing deep inside a worker:
 * **memory safety** — block footprints within ``block_fraction`` of GPU
   memory (P110), chunk footprints within ``chunk_fraction`` (P111),
   block + two double-buffered chunks fit the device (P112), round-robin
-  GPU balance (P113);
+  GPU balance (P113), every B tile fits the per-rank B-service LRU
+  budget (P114);
 * **comm consistency** — the per-process A/C volumes stored on the plan
   equal the volumes re-derived from its needed-tile sets via
   :func:`repro.core.inspector.expected_comm_volumes` (P120).
@@ -211,6 +212,17 @@ def _check_memory(plan: ExecutionPlan, report: AnalysisReport) -> None:
     mem = plan.gpu_memory_bytes
     block_budget = int(mem * plan.options.block_fraction)
     chunk_budget = int(mem * plan.options.chunk_fraction)
+    # The per-rank B service caches generated tiles under an LRU budget of
+    # gpu_memory_bytes; a single tile over that budget is unservable.
+    biggest_b = plan.b_shape.max_tile_nbytes(DTYPE_BYTES)
+    if biggest_b > mem:
+        report.add(
+            "P114",
+            f"largest B tile ({biggest_b} B) exceeds the per-rank B-service "
+            f"budget ({mem} B of GPU memory); the on-demand LRU can never "
+            f"hold it — retile B or raise the device memory",
+            obj="B shape",
+        )
     for proc in plan.procs:
         counts = np.zeros(plan.grid.gpus_per_proc, dtype=np.int64)
         for bi, block in enumerate(proc.blocks):

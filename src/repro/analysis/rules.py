@@ -91,6 +91,10 @@ register(Rule("P112", "plan-prefetch-overflow", E,
 register(Rule("P113", "plan-gpu-imbalance", E,
               "block counts per GPU of one process differ by more than one "
               "(round-robin balance guarantee violated)"))
+register(Rule("P114", "plan-b-tile-over-budget", E,
+              "a B tile is larger than the per-rank B-service LRU budget "
+              "(gpu_memory_bytes): the cache would evict everything and "
+              "still fail to hold it mid-run"))
 register(Rule("P120", "plan-comm-mismatch", E,
               "a process's stored communication volumes differ from the "
               "volumes implied by the plan (inspector aggregate drift)"))
@@ -126,3 +130,9 @@ register(Rule("L304", "frozen-setattr", E,
 register(Rule("L305", "bare-except", W,
               "a bare 'except:' swallows KeyboardInterrupt/SystemExit; "
               "worker loops must catch named exceptions"))
+register(Rule("L306", "wall-clock-in-dist", E,
+              "time.time() inside repro.dist: run-relative clocks and "
+              "deadlines must use time.monotonic() (an NTP step fires or "
+              "suppresses deadlines and yields negative durations); a "
+              "single wall stamp for report labeling may be suppressed "
+              "with # repro: noqa[L306]"))

@@ -20,7 +20,7 @@ oracle: same plan, same seeds, identical C.
 * :mod:`~repro.dist.faults` — kill/delay fault plans for recovery tests.
 """
 
-from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
 from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Endpoint
 from repro.dist.coordinator import DistExecutionError, DistReport, execute_plan_distributed
 from repro.dist.faults import FaultInjection, FaultPlan
@@ -44,4 +44,5 @@ __all__ = [
     "WorkerReport",
     "active_segments",
     "execute_plan_distributed",
+    "validate_b_budget",
 ]

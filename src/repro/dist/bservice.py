@@ -22,6 +22,18 @@ and the plan guarantees each tile is needed by exactly one block per rank,
 so the LRU never has to evict a tile that will be needed again: the
 "instantiated at most once per rank" invariant survives (and is asserted in
 the tests via :meth:`BService.max_instantiations`).
+
+Budget validation: a tile larger than the whole budget would make
+:meth:`BService.tile` empty the entire LRU and still fail inside a worker,
+so :func:`validate_b_budget` rejects that configuration up front — at
+:class:`BService` construction, in the coordinator before any worker
+spawns, and statically in the plan verifier (rule ``P114``).
+
+Observability: pass a :class:`~repro.runtime.tracing.SpanRecorder` and the
+service records one ``gen.<k>.<j>`` span per instantiation on the rank's
+``cpu.<rank>`` resource (the simulator's B-generation vocabulary) plus
+hit/miss/eviction counters surfaced through
+:class:`~repro.dist.DistReport`.
 """
 
 from __future__ import annotations
@@ -33,6 +45,24 @@ import numpy as np
 from repro.runtime.gpu_memory import GpuMemory
 
 
+def validate_b_budget(shape, budget_bytes: int) -> None:
+    """Reject a B-service budget that cannot hold the largest B tile.
+
+    Raises a :class:`ValueError` with an actionable message — this runs in
+    the coordinator (and at :class:`BService` construction) *before* any
+    worker starts, instead of letting the LRU empty itself and die with a
+    bare ``GpuMemoryError`` deep inside a worker process.
+    """
+    biggest = shape.max_tile_nbytes()
+    if biggest > budget_bytes:
+        raise ValueError(
+            f"B-service budget ({budget_bytes} B) cannot hold the largest "
+            f"B tile ({biggest} B): the LRU would evict its entire cache "
+            f"and still fail mid-run; raise the machine's GPU memory or "
+            f"retile B with smaller tiles"
+        )
+
+
 class BService:
     """On-demand B tiles for one rank, LRU-cached under a byte budget.
 
@@ -41,12 +71,15 @@ class BService:
     unchanged.
     """
 
-    def __init__(self, collection, budget_bytes: int):
+    def __init__(self, collection, budget_bytes: int, recorder=None):
+        validate_b_budget(collection.shape, budget_bytes)
         self._col = collection
         self._mem = GpuMemory(budget_bytes)
         self._lru: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self.instantiations: Counter = Counter()
+        self.hits = 0
         self.lru_evictions = 0
+        self._rec = recorder
 
     def has_tile(self, k: int, j: int) -> bool:
         return self._col.has_tile(k, j)
@@ -59,8 +92,14 @@ class BService:
         hit = self._lru.get(key)
         if hit is not None:
             self._lru.move_to_end(key)
+            self.hits += 1
             return hit
+        rec = self._rec
+        timed = rec is not None and rec.enabled
+        t_start = rec.now() if timed else 0.0
         data = self._col.generate_tile(k, j)
+        if timed:
+            rec.record(f"gen.{k}.{j}", f"cpu.{proc}", t_start, rec.now())
         self.instantiations[key] += 1
         # Make room: shed least-recently-used tiles until the budget fits.
         while self._lru and self._mem.free < data.nbytes:
@@ -94,12 +133,16 @@ class ArenaBSource:
 
     Counts distinct tile pulls per rank so the merged
     ``b_tiles_generated`` statistic equals the serial executor's
-    ``len(MatrixSource.access_counts)``.
+    ``len(MatrixSource.access_counts)``; repeat pulls count as cache hits
+    (the arena *is* the cache) so the B-service metrics stay comparable
+    across the two backings.
     """
 
     def __init__(self, arena):
         self._arena = arena
         self._pulled: set[tuple[int, int]] = set()
+        self.hits = 0
+        self.lru_evictions = 0
 
     def has_tile(self, k: int, j: int) -> bool:
         return (k, j) in self._arena
@@ -108,7 +151,10 @@ class ArenaBSource:
         return self._arena.meta().tile_nbytes((k, j))
 
     def tile(self, proc: int, k: int, j: int) -> np.ndarray:
-        self._pulled.add((k, j))
+        if (k, j) in self._pulled:
+            self.hits += 1
+        else:
+            self._pulled.add((k, j))
         return self._arena.get((k, j))
 
     def generated_tiles(self) -> int:

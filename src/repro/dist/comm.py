@@ -120,3 +120,18 @@ class CommStats:
             f"A broadcast {fmt_bytes(self.a_broadcast_bytes())} "
             f"over {len(self.link_bytes)} links"
         )
+
+    def table(self) -> str:
+        """Per-link traffic rendered as text, heaviest links first."""
+
+        def who(rank: int) -> str:
+            return "coord" if rank == COORDINATOR else f"rank {rank}"
+
+        lines = ["per-link traffic:"]
+        for (s, d), v in sorted(self.link_bytes.items(), key=lambda kv: -kv[1]):
+            n = self.messages.get((s, d), 0)
+            lines.append(
+                f"  {who(s):>7s} -> {who(d):<7s} {fmt_bytes(v):>10s}"
+                + (f"  ({n} msg)" if n else "")
+            )
+        return "\n".join(lines)

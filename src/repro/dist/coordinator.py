@@ -21,9 +21,21 @@ Responsibilities:
   output arena enforcing the one-producer-per-tile invariant, and merge
   per-rank :class:`~repro.runtime.numeric.NumericStats` via
   :meth:`NumericStats.merge`;
+* **observe** — merge every rank's monotonic
+  :class:`~repro.runtime.tracing.SpanStream` (clock origins aligned via
+  each recorder's single wall-clock sample) into one
+  :class:`~repro.runtime.tracing.Trace`, so ``to_chrome_trace()`` and
+  utilization queries work on real runs exactly as on simulated ones;
 * **clean up** — terminate stragglers and unlink every shared-memory
   segment in a ``finally``, success or not (the leak tests attach-probe
   every name afterwards).
+
+Clock policy: every run-relative clock and deadline here is
+``time.monotonic()`` — an NTP step can neither fire nor suppress the
+fault-recovery deadline, and durations can never go negative.  The single
+wall-clock stamp (``DistReport.started_at``, taken inside
+:class:`SpanRecorder`) exists only to label reports and align per-rank
+span streams.
 """
 
 from __future__ import annotations
@@ -33,15 +45,16 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.plan import ExecutionPlan
-from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
 from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Empty
 from repro.dist.faults import FaultPlan
 from repro.dist.tile_store import TileArena
 from repro.dist.worker import ScatterMsg, WorkerReport, modeled_a_link_bytes, worker_main
 from repro.runtime.data import GeneratedCollection, MatrixSource
 from repro.runtime.numeric import NumericStats, execute_proc_plan
-from repro.runtime.tracing import Trace
+from repro.runtime.tracing import SpanRecorder, Trace
 from repro.sparse.matrix import BlockSparseMatrix
+from repro.util.units import fmt_bytes, fmt_time
 from repro.util.validation import require
 
 #: Seconds a vanished worker gets to flush a late report before the
@@ -65,6 +78,11 @@ class DistReport:
     segments: list[str]
     b_max_instantiations: int = 0
     nworkers: int = 0
+    started_at: float = 0.0  # wall-clock stamp, labeling only
+    b_hits: int = 0
+    b_evictions: int = 0
+    span_dropped: int = 0
+    shm_bytes: int = 0
 
     def summary(self) -> str:
         retried = {r: a for r, a in self.attempts.items() if a > 1}
@@ -74,6 +92,72 @@ class DistReport:
             + (f", retried {sorted(retried)}" if retried else "")
             + (f", reassigned {sorted(self.reassigned)}" if self.reassigned else "")
         )
+
+    # -- derived observability metrics ---------------------------------------
+
+    def rank_utilization(self) -> dict[int, float]:
+        """Per-rank GPU busy fraction over the run.
+
+        GEMM-span seconds on a rank's ``gpu.<rank>.<g>.comp`` resources,
+        normalized by the makespan times the number of that rank's GPU
+        streams that appear in the trace (so a fully busy multi-GPU rank
+        reports 1.0, not the GPU count).  Empty when tracing was disabled.
+        """
+        span = self.trace.makespan
+        if span <= 0:
+            return {}
+        busy: dict[int, float] = {}
+        streams: dict[int, set[str]] = {}
+        for e in self.trace.events:
+            parts = e.resource.split(".")
+            if parts[0] == "gpu" and parts[-1] == "comp":
+                rank = int(parts[1])
+                busy[rank] = busy.get(rank, 0.0) + e.duration
+                streams.setdefault(rank, set()).add(e.resource)
+        return {r: busy[r] / (span * len(streams[r])) for r in sorted(busy)}
+
+    def queue_wait_seconds(self) -> dict[int, float]:
+        """Per-rank seconds spent blocked on queues.
+
+        Sums the prefetch hand-off waits (``*.qwait`` on the GPUs' ``.wait``
+        resources) and the initial scatter inbox wait per rank.
+        """
+        waits: dict[int, float] = {}
+        for e in self.trace.events:
+            if e.resource.endswith(".wait") or e.task == "inbox.wait":
+                rank = int(e.resource.split(".")[1])
+                waits[rank] = waits.get(rank, 0.0) + e.duration
+        return dict(sorted(waits.items()))
+
+    def observability_summary(self) -> str:
+        """A human-readable digest of the merged trace and counters."""
+        lines = [f"makespan {fmt_time(self.trace.makespan)}; {self.summary()}"]
+        util = self.rank_utilization()
+        if util:
+            lines.append(
+                "per-rank GPU busy fraction: "
+                + ", ".join(f"rank {r}: {u:.1%}" for r, u in util.items())
+            )
+        waits = self.queue_wait_seconds()
+        if waits:
+            lines.append(
+                "per-rank queue wait: "
+                + ", ".join(f"rank {r}: {fmt_time(w)}" for r, w in waits.items())
+            )
+        lines.append(
+            f"B service: {self.stats.b_tiles_generated} generated, "
+            f"{self.b_hits} hits, {self.b_evictions} LRU evictions"
+        )
+        lines.append(
+            f"shared memory: {len(self.segments)} segments, "
+            f"{fmt_bytes(self.shm_bytes)} of tiles"
+        )
+        if self.span_dropped:
+            lines.append(
+                f"WARNING: {self.span_dropped} spans dropped at the recorder bound"
+            )
+        lines.append(self.comm.table())
+        return "\n".join(lines)
 
 
 def _start_method() -> str:
@@ -94,6 +178,7 @@ def execute_plan_distributed(
     timeout: float = 120.0,
     start_method: str | None = None,
     verify_plan: bool = False,
+    trace: bool = True,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -105,7 +190,9 @@ def execute_plan_distributed(
     static plan verifier (:func:`repro.analysis.verify_plan`) first and
     raises :class:`repro.analysis.PlanVerificationError` on any finding —
     a corrupted plan is rejected before a single worker process spawns or
-    a single shared-memory segment is created.
+    a single shared-memory segment is created.  ``trace=False`` disables
+    span recording end to end (no clock reads in the workers' hot loops);
+    the numeric result is identical either way.
     """
     if verify_plan:
         from repro.analysis import assert_plan_valid  # late import: avoid cycle
@@ -115,6 +202,10 @@ def execute_plan_distributed(
         b = b.matrix
     require(a.rows == plan.a_shape.rows and a.cols == plan.a_shape.cols, "A tilings differ from plan")
     require(a.cols == plan.b_shape.rows, "A and B do not conform")
+    if isinstance(b, GeneratedCollection):
+        # Fail fast: a B tile larger than the per-rank LRU budget would
+        # otherwise empty a worker's cache and kill it mid-run.
+        validate_b_budget(b.shape, plan.gpu_memory_bytes)
     if fault_plan is not None:
         for inj in fault_plan.injections:
             require(
@@ -128,22 +219,25 @@ def execute_plan_distributed(
     comm = CommLayer(nranks, ctx)
     coord = comm.endpoint(COORDINATOR)
     comm_stats = CommStats()
-    trace = Trace()
-    t0 = time.time()
-    clock = lambda: time.time() - t0  # noqa: E731 - run-relative wall clock
+    # The coordinator's own recorder doubles as the run's monotonic clock
+    # and the alignment anchor for every rank's span stream.
+    rec = SpanRecorder(enabled=trace)
+    clock = rec.now
 
     arenas: list[TileArena] = []
     workers: dict[int, mp.Process] = {}
     try:
         # ---- pack operands into shared memory -----------------------------
-        a_arena = TileArena.pack("a", a.items())
-        arenas.append(a_arena)
+        with rec.span("pack.a", "net.-1"):
+            a_arena = TileArena.pack("a", a.items())
+            arenas.append(a_arena)
         a_meta = a_arena.meta()
 
         b_arena = None
         if isinstance(b, BlockSparseMatrix):
-            b_arena = TileArena.pack("b", b.items())
-            arenas.append(b_arena)
+            with rec.span("pack.b", "net.-1"):
+                b_arena = TileArena.pack("b", b.items())
+                arenas.append(b_arena)
             b_spec = ("arena", b_arena.meta())
         elif isinstance(b, GeneratedCollection):
             b_spec = ("generated", b.empty_clone())
@@ -181,11 +275,11 @@ def execute_plan_distributed(
                 c_meta=c_arenas[rank].meta(),
                 fault=inj,
                 attempt=attempt,
-                t0=t0,
+                trace=trace,
             )
             t_send = clock()
             coord.send(rank, msg)
-            trace.add(f"scatter.{rank}", f"net.{rank}", t_send, clock())
+            rec.record(f"scatter.{rank}", f"net.{rank}", t_send, clock())
 
         def spawn(rank: int) -> None:
             proc = ctx.Process(
@@ -204,15 +298,16 @@ def execute_plan_distributed(
         reassigned: list[int] = []
         pending = set(range(nranks))
         suspects: dict[int, float] = {}
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
 
         def run_inline(rank: int) -> None:
             """Reassign a twice-failed rank to a coordinator-local worker."""
             if b_arena is not None:
                 b_local = ArenaBSource(b_arena)
             else:
-                b_local = BService(b.empty_clone(), budget_bytes=plan.gpu_memory_bytes)
-            events: list = []
+                b_local = BService(
+                    b.empty_clone(), budget_bytes=plan.gpu_memory_bytes, recorder=rec
+                )
             produced, stats = execute_proc_plan(
                 plan.procs[rank],
                 a.get_tile,
@@ -222,7 +317,7 @@ def execute_plan_distributed(
                 b_csr=plan.b_shape.csr,
                 tau=plan.options.screen_threshold,
                 alpha=alpha,
-                on_event=lambda task, res, s, e: events.append((task, res, s, e)),
+                on_event=rec.record if rec.enabled else None,
                 clock=clock,
             )
             stats.b_tiles_generated = b_local.generated_tiles()
@@ -232,9 +327,11 @@ def execute_plan_distributed(
                 attempt=attempts[rank],
                 stats=stats,
                 c_index={},
-                events=events,
+                spans=None,  # recorded directly into the coordinator's stream
                 link_bytes=modeled_a_link_bytes(plan.procs[rank], plan.grid, a_meta),
                 b_max_instantiations=b_local.max_instantiations(),
+                b_hits=b_local.hits,
+                b_lru_evictions=b_local.lru_evictions,
             )
             reassigned.append(rank)
 
@@ -258,7 +355,7 @@ def execute_plan_distributed(
                 )
 
         while pending:
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise DistExecutionError(
                     f"distributed run timed out after {timeout:.0f} s "
                     f"(pending ranks: {sorted(pending)})"
@@ -266,7 +363,7 @@ def execute_plan_distributed(
             try:
                 src, msg, nbytes = coord.recv(timeout=0.1)
             except Empty:
-                now = time.time()
+                now = time.monotonic()
                 for rank in sorted(pending):
                     proc = workers.get(rank)
                     if proc is not None and proc.exitcode is not None:
@@ -316,19 +413,28 @@ def execute_plan_distributed(
                     f"C tile ({i},{j}) produced by two processes ({prev}, {rank})",
                 )
                 out.accumulate_tile(i, j, tile)
-        trace.add("reduce", "net.-1", t_reduce, clock())
+        rec.record("reduce", "net.-1", t_reduce, clock())
 
         # ---- merge stats / trace / comm -----------------------------------
         stats = NumericStats.merge([reports[rank].stats for rank in range(nranks)])
+        run_trace = Trace()
+        run_trace.extend(rec.spans)
+        span_dropped = rec.dropped
         for rank in range(nranks):
-            for task, resource, start, end in reports[rank].events:
-                trace.add(task, resource, start, end)
+            stream = reports[rank].spans
+            if stream is not None:
+                # Re-base the rank's monotonic clock onto the coordinator's
+                # via the two recorders' wall-clock origin samples.
+                run_trace.extend(
+                    stream.spans, offset=stream.wall_origin - rec.wall_origin
+                )
+                span_dropped += stream.dropped
             comm_stats.absorb(reports[rank].link_bytes)
         comm_stats.absorb(coord.link_bytes, coord.messages)
 
         dist_report = DistReport(
             stats=stats,
-            trace=trace,
+            trace=run_trace,
             comm=comm_stats,
             attempts=attempts,
             reassigned=reassigned,
@@ -337,6 +443,11 @@ def execute_plan_distributed(
                 (reports[r].b_max_instantiations for r in range(nranks)), default=0
             ),
             nworkers=nranks,
+            started_at=rec.wall_origin,
+            b_hits=sum(reports[r].b_hits for r in range(nranks)),
+            b_evictions=sum(reports[r].b_lru_evictions for r in range(nranks)),
+            span_dropped=span_dropped,
+            shm_bytes=sum(arena.used_bytes for arena in arenas),
         )
         return out, dist_report
     finally:

@@ -174,6 +174,11 @@ class TileArena:
     def __contains__(self, key: TileKey) -> bool:
         return key in self.index
 
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of tile data currently stored (<= ``size``)."""
+        return self._cursor
+
     # -- life-cycle ----------------------------------------------------------
 
     def close(self) -> None:

@@ -13,6 +13,14 @@ A arena (the "H2D" of the double-buffered 25 % staging area) while the main
 thread runs the current chunk's GEMMs; a ``Queue(maxsize=1)`` is exactly
 the one-chunk-ahead prefetch depth the 25/25 split allows.
 
+Observability: when the scatter carries ``trace=True`` the worker records
+spans through a :class:`~repro.runtime.tracing.SpanRecorder` on a
+*monotonic* clock — inbox wait, shared-memory attach, per-chunk prefetch
+and prefetch-queue wait, per-chunk GEMM, B-tile generation, C writeback —
+and ships the :class:`~repro.runtime.tracing.SpanStream` home in its
+report for the coordinator to merge.  With ``trace=False`` no clock is
+read in the hot loop (``on_event`` is ``None``) and no spans are stored.
+
 Fault injection lives here too: after the *k*-th GEMM task the worker
 either dies abruptly (``os._exit`` — no report, no cleanup, like a crashed
 MPI rank) or stalls, per the scattered :class:`~repro.dist.faults.FaultInjection`.
@@ -37,6 +45,7 @@ from repro.dist.comm import COORDINATOR, Endpoint
 from repro.dist.faults import FaultInjection
 from repro.dist.tile_store import ArenaMeta, TileArena
 from repro.runtime.numeric import NumericStats, execute_proc_plan
+from repro.runtime.tracing import SpanRecorder, SpanStream
 
 
 @dataclass(frozen=True)
@@ -55,20 +64,21 @@ class ScatterMsg:
     c_meta: ArenaMeta | None
     fault: FaultInjection | None
     attempt: int
-    t0: float
+    trace: bool = True
 
 
 @dataclass
 class WorkerReport:
-    """One rank's results: stats, C-tile index, trace events, link bytes."""
+    """One rank's results: stats, C-tile index, span stream, link bytes."""
 
     rank: int
     attempt: int
     stats: NumericStats
     c_index: dict[tuple[int, int], tuple[int, int, int]]
-    events: list[tuple[str, str, float, float]] = field(default_factory=list)
+    spans: SpanStream | None = None
     link_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     b_max_instantiations: int = 0
+    b_hits: int = 0
     b_lru_evictions: int = 0
 
 
@@ -89,54 +99,83 @@ def modeled_a_link_bytes(
     return dict(links)
 
 
-def _prefetching_fetcher(a_arena: TileArena, events: list, clock, rank: int):
-    """A ``chunk_fetcher`` that double-buffers A chunks via a thread per block."""
+def _prefetching_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int):
+    """A ``chunk_fetcher`` that double-buffers A chunks via a thread per block.
+
+    With the recorder enabled, the producer thread records each chunk's
+    copy-out as a ``prefetch`` span on the GPU's link resource, and the
+    consumer records the time it blocked on the hand-off queue as a
+    ``qwait`` span — the executor's measurable analogue of a starved H2D
+    pipeline.  Disabled, neither side reads a clock.
+    """
 
     def fetcher(g: int, bi: int, block: Block):
         chunk_q: queue.Queue = queue.Queue(maxsize=1)
         link = f"gpu.{rank}.{g}.link"
+        wait = f"gpu.{rank}.{g}.wait"
 
         def produce() -> None:
             for ci, chunk in enumerate(block.chunks):
-                t_start = clock()
+                t_start = rec.now() if rec.enabled else 0.0
                 tiles = [
                     np.array(a_arena.get((i, k)))
                     for i, k in zip(chunk.a_rows.tolist(), chunk.a_cols.tolist())
                 ]
-                events.append((f"block{bi}.chunk{ci}.prefetch", link, t_start, clock()))
+                if rec.enabled:
+                    rec.record(f"block{bi}.chunk{ci}.prefetch", link, t_start, rec.now())
                 chunk_q.put(tiles)
 
         threading.Thread(target=produce, daemon=True).start()
 
         def fetch(ci: int, chunk) -> list[np.ndarray]:
-            return chunk_q.get()
+            if not rec.enabled:
+                return chunk_q.get()
+            t_start = rec.now()
+            tiles = chunk_q.get()
+            rec.record(f"block{bi}.chunk{ci}.qwait", wait, t_start, rec.now())
+            return tiles
 
         return fetch
 
     return fetcher
 
 
-def run_rank(msg: ScatterMsg) -> WorkerReport:
-    """Execute one scattered rank; returns the report (arena already written)."""
+def run_rank(
+    msg: ScatterMsg,
+    *,
+    origin: float | None = None,
+    recv_done: float | None = None,
+) -> WorkerReport:
+    """Execute one scattered rank; returns the report (arena already written).
+
+    ``origin``/``recv_done`` are monotonic instants bracketing the inbox
+    wait in :func:`worker_main`; the recorder's clock is rooted at
+    ``origin`` so the wait appears as the rank's first span.
+    """
+    rank = msg.proc.rank
+    rec = SpanRecorder(enabled=msg.trace, origin=origin)
+    if msg.trace and origin is not None and recv_done is not None:
+        rec.record("inbox.wait", f"net.{rank}", 0.0, recv_done - origin)
+
     attached: list[TileArena] = []
     try:
-        a_arena = TileArena.attach(msg.a_meta)
-        attached.append(a_arena)
+        with rec.span("shm.attach", f"net.{rank}"):
+            a_arena = TileArena.attach(msg.a_meta)
+            attached.append(a_arena)
 
-        kind, payload = msg.b_spec
-        if kind == "arena":
-            b_arena = TileArena.attach(payload)
-            attached.append(b_arena)
-            b_source = ArenaBSource(b_arena)
-        else:
-            b_source = BService(payload, budget_bytes=msg.gpu_memory_bytes)
+            kind, payload = msg.b_spec
+            if kind == "arena":
+                b_arena = TileArena.attach(payload)
+                attached.append(b_arena)
+                b_source = ArenaBSource(b_arena)
+            else:
+                b_source = BService(
+                    payload, budget_bytes=msg.gpu_memory_bytes, recorder=rec
+                )
 
-        c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
-        if c_arena is not None:
-            attached.append(c_arena)
-
-        clock = lambda: time.time() - msg.t0  # noqa: E731 - shared wall clock
-        events: list[tuple[str, str, float, float]] = []
+            c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
+            if c_arena is not None:
+                attached.append(c_arena)
 
         fault = msg.fault
         executed = 0
@@ -158,28 +197,28 @@ def run_rank(msg: ScatterMsg) -> WorkerReport:
             b_csr=msg.b_csr,
             tau=msg.tau,
             alpha=msg.alpha,
-            chunk_fetcher=_prefetching_fetcher(a_arena, events, clock, msg.proc.rank),
+            chunk_fetcher=_prefetching_fetcher(a_arena, rec, rank),
             on_task=on_task if fault is not None else None,
-            on_event=lambda task, res, s, e: events.append((task, res, s, e)),
-            clock=clock,
+            on_event=rec.record if rec.enabled else None,
+            clock=rec.now,
         )
         stats.b_tiles_generated = b_source.generated_tiles()
 
         c_index: dict[tuple[int, int], tuple[int, int, int]] = {}
-        t_wb = clock()
-        for key, tile in produced.items():
-            c_index[key] = c_arena.put(key, tile)
-        events.append((f"writeback.{msg.proc.rank}", f"net.{msg.proc.rank}", t_wb, clock()))
+        with rec.span(f"writeback.{rank}", f"net.{rank}"):
+            for key, tile in produced.items():
+                c_index[key] = c_arena.put(key, tile)
 
         return WorkerReport(
-            rank=msg.proc.rank,
+            rank=rank,
             attempt=msg.attempt,
             stats=stats,
             c_index=c_index,
-            events=events,
+            spans=rec.stream() if rec.enabled else None,
             link_bytes=modeled_a_link_bytes(msg.proc, msg.grid, msg.a_meta),
             b_max_instantiations=b_source.max_instantiations(),
-            b_lru_evictions=getattr(b_source, "lru_evictions", 0),
+            b_hits=b_source.hits,
+            b_lru_evictions=b_source.lru_evictions,
         )
     finally:
         for arena in attached:
@@ -188,9 +227,10 @@ def run_rank(msg: ScatterMsg) -> WorkerReport:
 
 def worker_main(rank: int, endpoint: Endpoint) -> None:
     """Process entry point: one scatter in, one report (or error) out."""
+    t_spawn = time.monotonic()
     try:
         _, msg, _ = endpoint.recv()
-        report = run_rank(msg)
+        report = run_rank(msg, origin=t_spawn, recv_done=time.monotonic())
         endpoint.send(COORDINATOR, ("done", rank, report))
     except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
         try:

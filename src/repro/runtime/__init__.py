@@ -26,7 +26,7 @@ from repro.runtime.gpu_memory import GpuMemory, GpuMemoryError
 from repro.runtime.numeric import NumericStats, execute_plan
 from repro.runtime.engine import DiscreteEventEngine, Resource, SimTask
 from repro.runtime.dag import build_task_graph
-from repro.runtime.tracing import Trace, TraceEvent
+from repro.runtime.tracing import SpanRecorder, SpanStream, Trace, TraceEvent
 
 __all__ = [
     "TileSource",
@@ -40,6 +40,8 @@ __all__ = [
     "Resource",
     "SimTask",
     "build_task_graph",
+    "SpanRecorder",
+    "SpanStream",
     "Trace",
     "TraceEvent",
 ]

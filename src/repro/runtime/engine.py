@@ -106,7 +106,9 @@ class DiscreteEventEngine:
 
         in_flight: dict[str, int] = {r: 0 for r in self.resources}
         completions: list[tuple[float, int, str]] = []
-        trace = Trace()
+        trace = Trace(
+            capacities={name: r.capacity for name, r in self.resources.items()}
+        )
         now = 0.0
         done = 0
 

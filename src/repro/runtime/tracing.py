@@ -1,8 +1,30 @@
-"""Execution traces from the discrete-event engine."""
+"""Execution traces, span recording, and utilization queries.
+
+Two producers feed one consumer vocabulary:
+
+* the discrete-event engine (:mod:`repro.runtime.engine`) emits a
+  :class:`Trace` of simulated task intervals;
+* the real multi-process executor (:mod:`repro.dist`) records *measured*
+  spans per rank through a :class:`SpanRecorder` (monotonic clock, bounded
+  memory, zero-cost when disabled) and the coordinator merges the per-rank
+  :class:`SpanStream` s into the same :class:`Trace`.
+
+Because both ends speak the same ``(task, resource, start, end)`` tuples,
+``to_chrome_trace()``, ``utilization()`` and makespan queries work
+unchanged on simulated and real runs alike.
+
+Clock alignment: monotonic clocks are not comparable across processes, so
+each :class:`SpanRecorder` samples the wall clock *once* at its origin
+(``wall_origin``).  The coordinator shifts a rank's spans by
+``rank.wall_origin - coordinator.wall_origin`` to place them on the run's
+shared timeline; every measured *interval* stays purely monotonic.
+"""
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.util.units import fmt_time
@@ -23,31 +45,162 @@ class TraceEvent:
 
 
 @dataclass
+class SpanStream:
+    """One process's recorded spans plus its clock-alignment sample.
+
+    ``spans`` are ``(task, resource, start, end)`` tuples on the
+    recorder's monotonic clock (seconds since its origin); ``wall_origin``
+    is the wall-clock instant of that origin, used only to align streams
+    from different processes.  ``dropped`` counts spans discarded once the
+    recorder's memory bound was hit.
+    """
+
+    spans: list[tuple[str, str, float, float]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+    wall_origin: float = 0.0
+
+
+class SpanRecorder:
+    """A per-process span recorder on a monotonic clock.
+
+    Designed for the distributed executor's hot loop:
+
+    * **monotonic** — ``now()`` is ``time.monotonic()`` relative to the
+      recorder's origin, so an NTP step can never produce negative
+      durations or skewed deadlines;
+    * **bounded** — at most ``max_spans`` spans are retained; further
+      ``record`` calls only bump ``dropped``;
+    * **zero-cost when disabled** — ``record``/``count`` return
+      immediately, and callers can branch on ``enabled`` to skip clock
+      reads entirely.
+
+    Exactly one wall-clock sample is taken (at construction) to stamp
+    ``wall_origin`` for cross-process alignment and report labeling.
+    """
+
+    __slots__ = ("enabled", "max_spans", "spans", "counters", "dropped",
+                 "_origin", "wall_origin")
+
+    def __init__(self, enabled: bool = True, max_spans: int = 200_000,
+                 origin: float | None = None):
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: list[tuple[str, str, float, float]] = []
+        self.counters: dict[str, int] = {}
+        self.dropped = 0
+        mono = time.monotonic()
+        self._origin = mono if origin is None else origin
+        # The one wall-clock read: the wall instant of the monotonic origin.
+        self.wall_origin = time.time() - (mono - self._origin)
+
+    @property
+    def origin(self) -> float:
+        """The monotonic instant spans are measured relative to."""
+        return self._origin
+
+    def now(self) -> float:
+        """Seconds since the recorder's origin (monotonic)."""
+        return time.monotonic() - self._origin
+
+    def record(self, task: str, resource: str, start: float, end: float) -> None:
+        """Store one span; drops (and counts) beyond the memory bound."""
+        if not self.enabled:
+            return
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append((task, resource, start, end))
+
+    @contextmanager
+    def span(self, task: str, resource: str):
+        """Record the duration of a ``with`` body as one span."""
+        if not self.enabled:
+            yield
+            return
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.record(task, resource, start, self.now())
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter (B-service hits, drops, ...)."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def stream(self) -> SpanStream:
+        """A pickle-able snapshot to ship home in a worker report."""
+        return SpanStream(
+            spans=list(self.spans),
+            counters=dict(self.counters),
+            dropped=self.dropped,
+            wall_origin=self.wall_origin,
+        )
+
+
+@dataclass
 class Trace:
-    """An ordered record of executed tasks with utilization queries."""
+    """An ordered record of executed tasks with utilization queries.
+
+    ``capacities`` maps resource names to their parallel capacity
+    (defaulting to 1); ``busy_time`` and ``utilization`` normalize by it so
+    a capacity-4 resource running 4 tasks at once reports a busy fraction
+    of 1.0, not 4.0.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    capacities: dict[str, int] = field(default_factory=dict)
 
     def add(self, task: str, resource: str, start: float, end: float) -> None:
         self.events.append(TraceEvent(task, resource, start, end))
+
+    def extend(self, spans, offset: float = 0.0) -> None:
+        """Merge ``(task, resource, start, end)`` tuples, shifted by ``offset``.
+
+        This is how the coordinator folds a rank's :class:`SpanStream` into
+        the run trace: ``offset`` re-bases the rank's clock origin onto the
+        coordinator's.
+        """
+        for task, resource, start, end in spans:
+            self.events.append(TraceEvent(task, resource, start + offset, end + offset))
 
     @property
     def makespan(self) -> float:
         return max((e.end for e in self.events), default=0.0)
 
-    def busy_time(self, resource: str) -> float:
-        """Total busy seconds of a resource (capacity-1 resources only)."""
-        return sum(e.duration for e in self.events if e.resource == resource)
+    def _capacity(self, resource: str, override) -> int:
+        if override is not None and resource in override:
+            return override[resource]
+        return self.capacities.get(resource, 1)
 
-    def utilization(self) -> dict[str, float]:
-        """Busy fraction per resource over the makespan."""
+    def busy_time(self, resource: str, capacity: int | None = None) -> float:
+        """Capacity-normalized busy seconds of a resource.
+
+        With ``capacity`` (or a stored ``capacities`` entry) ``c``, the sum
+        of event durations is divided by ``c`` — the time an equivalent
+        capacity-1 resource would have been busy.
+        """
+        cap = capacity if capacity is not None else self.capacities.get(resource, 1)
+        return sum(e.duration for e in self.events if e.resource == resource) / cap
+
+    def utilization(self, capacities: dict[str, int] | None = None) -> dict[str, float]:
+        """Busy fraction per resource over the makespan.
+
+        Normalized by each resource's capacity (from ``capacities``, then
+        the trace's stored map, then 1), so fractions never exceed 1.0 for
+        a correctly simulated multi-capacity resource.
+        """
         span = self.makespan
         if span <= 0:
             return {}
         busy: dict[str, float] = defaultdict(float)
         for e in self.events:
             busy[e.resource] += e.duration
-        return {r: b / span for r, b in sorted(busy.items())}
+        return {
+            r: b / (span * self._capacity(r, capacities))
+            for r, b in sorted(busy.items())
+        }
 
     def to_chrome_trace(self) -> list[dict]:
         """Chrome ``chrome://tracing`` / Perfetto event list.

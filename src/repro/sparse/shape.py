@@ -124,6 +124,13 @@ class SparseShape:
         coo = self._csr.tocoo()
         return coo.row.astype(np.int64), coo.col.astype(np.int64)
 
+    def max_tile_nbytes(self, dtype_bytes: int = 8) -> int:
+        """Bytes of the largest *present* tile (0 for an empty shape)."""
+        i, j = self.nonzero_tiles()
+        if i.size == 0:
+            return 0
+        return int((self.rows.sizes[i] * self.cols.sizes[j]).max()) * dtype_bytes
+
     def has_tile(self, i: int, j: int) -> bool:
         """Whether tile ``(i, j)`` is present."""
         return bool(self._csr[i, j] != 0)

@@ -1,0 +1,302 @@
+"""Tests for the unified runtime observability layer.
+
+Covers the distributed trace pipeline end to end — workers record
+monotonic spans, the coordinator aligns and merges them into a
+:class:`repro.runtime.tracing.Trace` — plus the regression tests for the
+three timing/accounting bugfixes that shipped with it:
+
+* run-relative clocks use ``time.monotonic()`` (a stepping wall clock can
+  no longer fire deadlines or produce negative durations);
+* an oversized B tile is rejected with an actionable error *before* any
+  worker starts (instead of emptying the LRU and dying mid-run);
+* ``Trace.busy_time``/``utilization`` normalize by resource capacity
+  (busy fractions of multi-capacity resources no longer exceed 1.0).
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_plan
+from repro.analysis.lint import lint_source
+from repro.core import inspect, psgemm_distributed, psgemm_numeric
+from repro.dist import BService, active_segments, validate_b_budget
+from repro.machine import summit
+from repro.runtime import GeneratedCollection, SpanRecorder, Trace
+from repro.sparse import random_block_sparse
+from repro.tiling import random_tiling
+
+
+def operands(seed=0, m=200, nk=600, density=0.5):
+    rows = random_tiling(m, 20, 80, seed=seed)
+    inner = random_tiling(nk, 20, 80, seed=seed + 1)
+    a = random_block_sparse(rows, inner, density, seed=seed + 2)
+    b = random_block_sparse(inner, inner, density, seed=seed + 3)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced 2-worker run shared by the merge/export/metric tests."""
+    a, b = operands(seed=0)
+    machine = summit(2)
+    c, report = psgemm_distributed(a, b, machine, p=2, trace=True)
+    plan = inspect(a.sparse_shape(), b.sparse_shape(), machine, p=2)
+    return plan, c, report
+
+
+class TestSpanRecorder:
+    def test_disabled_records_nothing(self):
+        rec = SpanRecorder(enabled=False)
+        rec.record("t", "r", 0.0, 1.0)
+        rec.count("hits")
+        with rec.span("t2", "r"):
+            pass
+        assert rec.spans == [] and rec.counters == {} and rec.dropped == 0
+
+    def test_bounded_memory_counts_drops(self):
+        rec = SpanRecorder(max_spans=3)
+        for i in range(5):
+            rec.record(f"t{i}", "r", float(i), float(i) + 0.5)
+        assert len(rec.spans) == 3
+        assert rec.dropped == 2
+        assert rec.stream().dropped == 2
+
+    def test_span_contextmanager_and_counters(self):
+        rec = SpanRecorder()
+        with rec.span("work", "cpu.0"):
+            pass
+        rec.count("hits")
+        rec.count("hits", 2)
+        (task, resource, start, end) = rec.spans[0]
+        assert (task, resource) == ("work", "cpu.0")
+        assert end >= start >= 0.0
+        assert rec.counters == {"hits": 3}
+
+    def test_stream_pickles(self):
+        rec = SpanRecorder()
+        rec.record("t", "r", 0.0, 1.0)
+        stream = pickle.loads(pickle.dumps(rec.stream()))
+        assert stream.spans == [("t", "r", 0.0, 1.0)]
+        assert stream.wall_origin == rec.wall_origin
+
+    def test_now_is_monotonic_under_wall_clock_steps(self, monkeypatch):
+        """Bugfix regression: a stepping wall clock must not affect now()."""
+        import time as time_mod
+
+        rec = SpanRecorder()
+        t0 = rec.now()
+        # Step the wall clock a day backwards: monotonic readings ignore it.
+        real_time = time_mod.time
+        monkeypatch.setattr(time_mod, "time", lambda: real_time() - 86_400.0)
+        t1 = rec.now()
+        assert t1 >= t0 >= 0.0
+
+    def test_shared_origin_yields_comparable_clocks(self):
+        import time
+
+        origin = time.monotonic()
+        a, b = SpanRecorder(origin=origin), SpanRecorder(origin=origin)
+        # Same monotonic origin => same wall origin (up to clock read jitter).
+        assert abs(a.wall_origin - b.wall_origin) < 0.1
+        assert abs(a.now() - b.now()) < 0.1
+
+
+class TestCapacityNormalizedUtilization:
+    """Bugfix regression: busy fractions of capacity-c resources <= 1.0."""
+
+    def _trace(self):
+        t = Trace(capacities={"gpu": 4})
+        # 4 concurrent unit tasks on a capacity-4 resource, 1 on a default.
+        for _ in range(4):
+            t.add("task", "gpu", 0.0, 1.0)
+        t.add("task", "cpu", 0.0, 1.0)
+        return t
+
+    def test_busy_time_divides_by_capacity(self):
+        t = self._trace()
+        assert t.busy_time("gpu") == pytest.approx(1.0)
+        assert t.busy_time("gpu", capacity=2) == pytest.approx(2.0)
+        assert t.busy_time("cpu") == pytest.approx(1.0)
+
+    def test_utilization_normalizes(self):
+        util = self._trace().utilization()
+        assert util["gpu"] == pytest.approx(1.0)
+        assert util["cpu"] == pytest.approx(1.0)
+
+    def test_utilization_override_map_wins(self):
+        util = self._trace().utilization(capacities={"gpu": 8})
+        assert util["gpu"] == pytest.approx(0.5)
+
+    def test_engine_trace_carries_capacities(self):
+        from repro.runtime.engine import DiscreteEventEngine, Resource, SimTask
+
+        eng = DiscreteEventEngine([Resource("gpu", capacity=3)])
+        eng.add_tasks(SimTask(f"t{i}", "gpu", 1.0) for i in range(3))
+        trace = eng.run()
+        assert trace.capacities == {"gpu": 3}
+        # 3 unit tasks run concurrently on capacity 3: fraction 1.0, not 3.0.
+        assert trace.utilization()["gpu"] == pytest.approx(1.0)
+
+
+class TestOversizedBTile:
+    """Bugfix regression: a B tile over the LRU budget fails fast."""
+
+    def _collection(self, seed=0):
+        inner = random_tiling(300, 40, 120, seed=seed)
+        shape = random_block_sparse(inner, inner, 0.5, seed=seed + 1).sparse_shape()
+        return GeneratedCollection(shape, seed=seed + 2)
+
+    def test_validate_rejects_small_budget(self):
+        col = self._collection()
+        biggest = col.shape.max_tile_nbytes()
+        with pytest.raises(ValueError, match="B-service budget"):
+            validate_b_budget(col.shape, biggest - 1)
+        validate_b_budget(col.shape, biggest)  # exact fit is fine
+
+    def test_bservice_construction_rejects_small_budget(self):
+        col = self._collection()
+        with pytest.raises(ValueError, match="cannot hold the largest B tile"):
+            BService(col, budget_bytes=col.shape.max_tile_nbytes() - 1)
+
+    def test_distributed_run_fails_before_spawning_workers(self):
+        a, bmat = operands(seed=5)
+        b = GeneratedCollection(bmat.sparse_shape(), seed=9)
+        machine = summit(2)
+        plan = inspect(a.sparse_shape(), b.shape, machine, p=2)
+        plan.gpu_memory_bytes = b.shape.max_tile_nbytes() - 1
+        from repro.dist import execute_plan_distributed
+
+        with pytest.raises(ValueError, match="B-service budget"):
+            execute_plan_distributed(plan, a, b)
+        assert not active_segments()  # nothing was packed or spawned
+
+    def test_plan_verifier_flags_p114(self):
+        a, bmat = operands(seed=6)
+        machine = summit(2)
+        plan = inspect(a.sparse_shape(), bmat.sparse_shape(), machine, p=2)
+        assert verify_plan(plan).ok
+        plan.gpu_memory_bytes = bmat.sparse_shape().max_tile_nbytes() - 1
+        report = verify_plan(plan)
+        assert any(f.rule == "P114" for f in report.findings)
+
+
+class TestMergedDistributedTrace:
+    def test_chrome_trace_round_trips(self, traced_run, tmp_path):
+        _, _, report = traced_run
+        events = report.trace.to_chrome_trace()
+        assert events, "traced run produced no spans"
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        parsed = json.loads(path.read_text())["traceEvents"]
+        assert len(parsed) == len(report.trace.events)
+        for ev in parsed:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["name"], str) and ev["name"]
+            assert isinstance(ev["ts"], float) and isinstance(ev["dur"], float)
+            assert ev["dur"] >= 0.0
+            assert isinstance(ev["args"]["resource"], str)
+
+    def test_spans_lie_within_the_run_interval(self, traced_run):
+        _, _, report = traced_run
+        span = report.trace.makespan
+        assert span > 0
+        for e in report.trace.events:
+            # Clock alignment uses one wall sample per process; allow a
+            # few ms of cross-process sampling jitter at the left edge.
+            assert e.start >= -0.01
+            assert e.end <= span + 1e-9
+            assert e.duration >= 0.0
+
+    def test_gemm_spans_reconcile_with_plan_chunks(self, traced_run):
+        plan, _, report = traced_run
+        per_rank = {}
+        for e in report.trace.events:
+            parts = e.resource.split(".")
+            if parts[0] == "gpu" and parts[-1] == "comp":
+                assert e.task.endswith(".gemm")
+                rank = int(parts[1])
+                per_rank[rank] = per_rank.get(rank, 0) + 1
+        expected = {
+            proc.rank: sum(len(b.chunks) for b in proc.blocks)
+            for proc in plan.procs
+        }
+        assert per_rank == {r: n for r, n in expected.items() if n}
+        assert set(per_rank) == set(report.stats.per_proc_tasks)
+
+    def test_derived_metrics_populated(self, traced_run):
+        _, _, report = traced_run
+        util = report.rank_utilization()
+        assert set(util) == set(report.stats.per_proc_tasks)
+        assert all(0.0 < u <= 1.0 for u in util.values())
+        waits = report.queue_wait_seconds()
+        assert all(w >= 0.0 for w in waits.values())
+        assert report.span_dropped == 0
+        assert report.shm_bytes > 0
+        text = report.observability_summary()
+        assert "busy fraction" in text and "B service" in text
+
+    def test_trace_off_is_bit_identical_and_span_free(self):
+        a, b = operands(seed=2)
+        machine = summit(2)
+        c_serial, _ = psgemm_numeric(a, b, machine, p=2)
+        c_off, report = psgemm_distributed(a, b, machine, p=2, trace=False)
+        assert np.array_equal(c_serial.to_dense(), c_off.to_dense())
+        assert report.trace.events == []
+        assert report.rank_utilization() == {}
+
+    def test_wall_clock_step_does_not_break_a_run(self, monkeypatch):
+        """Bugfix regression: deadlines/durations survive a stepping clock.
+
+        The coordinator's deadline and every recorded interval are
+        monotonic; a wall clock frozen in the past must neither trip the
+        fault-recovery timeout nor yield negative span durations.
+        """
+        import time as time_mod
+
+        frozen = time_mod.time() - 86_400.0
+        monkeypatch.setattr(time_mod, "time", lambda: frozen)
+        a, b = operands(seed=4, m=120, nk=300)
+        c, report = psgemm_distributed(a, b, summit(2), p=2, timeout=60.0)
+        c_serial, _ = psgemm_numeric(a, b, summit(2), p=2)
+        assert np.array_equal(c_serial.to_dense(), c.to_dense())
+        assert all(e.duration >= 0.0 for e in report.trace.events)
+
+
+class TestWallClockLint:
+    """L306: time.time() is forbidden inside the dist/ tree."""
+
+    SRC = "import time\n\ndef f():\n    return time.time()\n"
+
+    def test_flags_time_time_in_dist(self):
+        findings = lint_source(self.SRC, filename="src/repro/dist/worker.py")
+        assert [f.rule for f in findings] == ["L306"]
+
+    def test_noqa_suppresses(self):
+        src = self.SRC.replace(
+            "time.time()", "time.time()  # repro: noqa[L306]"
+        )
+        assert lint_source(src, filename="src/repro/dist/worker.py") == []
+
+    def test_outside_dist_is_ignored(self):
+        findings = lint_source(self.SRC, filename="src/repro/runtime/x.py")
+        assert findings == []
+
+    def test_monotonic_is_fine_in_dist(self):
+        src = "import time\n\ndef f():\n    return time.monotonic()\n"
+        assert lint_source(src, filename="src/repro/dist/worker.py") == []
+
+    def test_dist_tree_has_no_wall_clock_calls(self):
+        import os
+
+        import repro.dist as dist_pkg
+
+        root = os.path.dirname(dist_pkg.__file__)
+        for name in sorted(os.listdir(root)):
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(root, name), encoding="utf-8") as fh:
+                findings = lint_source(fh.read(), filename=os.path.join(root, name))
+            assert [f for f in findings if f.rule == "L306"] == []
