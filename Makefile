@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist trace-smoke analyze bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke bench-smoke analyze bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,15 @@ analyze:
 # CLI round-trips); budgeted at 120 s so a hung worker can never wedge CI.
 test-dist:
 	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
+
+# Benchmark regression gate: run the small dist-executor sweep, write
+# BENCH_dist.json, and compare against the committed baseline (exact task
+# counts, speedups within 15%).  After a deliberate performance change,
+# ratify with: python benchmarks/compare.py benchmarks/BENCH_dist.json \
+#   /tmp/BENCH_dist.json --update
+bench-smoke:
+	PYTHONPATH=src timeout 300 python benchmarks/bench_dist_executor.py --small --json /tmp/BENCH_dist.json
+	PYTHONPATH=src python benchmarks/compare.py benchmarks/BENCH_dist.json /tmp/BENCH_dist.json
 
 # Observability smoke test: trace a tiny 2-worker run end to end, then
 # prove the artifact is a loadable Chrome trace (non-empty "X" events).

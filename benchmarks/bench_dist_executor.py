@@ -11,13 +11,19 @@ it is bounded by how evenly the column assignment deals out tasks.
 On a single-core host the speedup column tops out below 1.0x (N workers
 time-slice one CPU and pay the scatter/gather overhead); the balance
 column and the bit-for-bit crosscheck are the machine-independent signal.
+
+Standalone mode: ``python benchmarks/bench_dist_executor.py --json
+BENCH_dist.json [--small]`` runs the same sweep outside pytest and writes
+a machine-readable result file that :mod:`benchmarks.compare` gates CI
+against (exact task counts, speedups within a tolerance).
 """
 
+import argparse
+import json
+import sys
 import time
 
 import numpy as np
-
-from conftest import run_once
 
 from repro.core import inspect
 from repro.dist import execute_plan_distributed
@@ -30,36 +36,96 @@ from repro.tiling import random_tiling
 #: Worker counts to sweep (one worker per planned rank; p=N, q=1 grids).
 WORKER_COUNTS = (1, 2, 4)
 
+#: The reduced sweep ``--small`` (and ``make bench-smoke``) runs.
+SMALL_WORKER_COUNTS = (1, 2)
 
-def _problem(seed=0):
+
+def _problem(seed=0, small=False):
     # Fat tiles so each GEMM is BLAS-bound: per-task interpreter overhead
     # and the fixed multi-process costs (fork + scatter + shared-memory
     # packing) must be amortized for the speedup column to mean anything.
-    rows = random_tiling(1200, 150, 300, seed=seed)
-    inner = random_tiling(4800, 150, 300, seed=seed + 1)
+    # The small variant keeps the same shape at smoke-test cost.
+    if small:
+        rows = random_tiling(800, 120, 240, seed=seed)
+        inner = random_tiling(3200, 120, 240, seed=seed + 1)
+    else:
+        rows = random_tiling(1200, 150, 300, seed=seed)
+        inner = random_tiling(4800, 150, 300, seed=seed + 1)
     a = random_block_sparse(rows, inner, 0.6, seed=seed + 2)
     b = random_block_sparse(inner, inner, 0.6, seed=seed + 3)
     return a, b
 
 
-def _sweep():
-    a, b = _problem()
+def _sweep(small=False, repeats=1):
+    a, b = _problem(small=small)
     a_shape, b_shape = a.sparse_shape(), b.sparse_shape()
     points = []
-    for nworkers in WORKER_COUNTS:
+    for nworkers in SMALL_WORKER_COUNTS if small else WORKER_COUNTS:
         plan = inspect(a_shape, b_shape, summit(nworkers), p=nworkers)
-        t0 = time.perf_counter()
-        c_serial, _ = execute_plan(plan, a, b)
-        t_serial = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        c_dist, report = execute_plan_distributed(plan, a, b)
-        t_dist = time.perf_counter() - t0
+        # Best-of-N timing: scheduler noise on a loaded host only ever
+        # slows a run down, so the minimum is the honest measurement.
+        t_serial = t_dist = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            c_serial, _ = execute_plan(plan, a, b)
+            t_serial = min(t_serial, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            c_dist, report = execute_plan_distributed(plan, a, b)
+            t_dist = min(t_dist, time.perf_counter() - t0)
         assert np.array_equal(c_serial.to_dense(), c_dist.to_dense())
         points.append((nworkers, t_serial, t_dist, report))
     return points
 
 
+def sweep_payload(small=False) -> dict:
+    """Run the sweep and shape it for ``BENCH_dist.json``.
+
+    Wall-clock seconds are recorded for the human reading the file; the
+    regression gate (:mod:`benchmarks.compare`) checks the task counts
+    exactly and the serial/dist speedup ratio within a tolerance — the
+    two signals that survive a change of host.
+    """
+    points = []
+    for nworkers, t_serial, t_dist, report in _sweep(small=small, repeats=3):
+        tasks = report.stats.per_proc_tasks
+        points.append(
+            {
+                "workers": nworkers,
+                "serial_s": round(t_serial, 4),
+                "dist_s": round(t_dist, 4),
+                "speedup": round(t_serial / t_dist, 4),
+                "ntasks": report.stats.ntasks,
+                "tasks_per_rank": {str(r): tasks[r] for r in sorted(tasks)},
+                "heartbeats": report.health.heartbeats if report.health else 0,
+            }
+        )
+    return {"bench": "dist_executor", "small": bool(small), "points": points}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="serial vs multi-process executor sweep (regression data)"
+    )
+    ap.add_argument("--json", metavar="PATH", default="BENCH_dist.json",
+                    help="result file to write (default BENCH_dist.json)")
+    ap.add_argument("--small", action="store_true",
+                    help="smoke-test problem size (the make bench-smoke mode)")
+    args = ap.parse_args(argv)
+    payload = sweep_payload(small=args.small)
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for pt in payload["points"]:
+        print(f"workers {pt['workers']}: serial {pt['serial_s']:.2f}s, "
+              f"dist {pt['dist_s']:.2f}s, speedup {pt['speedup']:.2f}x, "
+              f"{pt['ntasks']} tasks")
+    print(f"wrote {args.json}: {len(payload['points'])} point(s)")
+    return 0
+
+
 def test_dist_executor_speedup(benchmark):
+    from conftest import run_once  # pytest-only dependency; standalone mode skips it
+
     points = run_once(benchmark, _sweep)
     rows = []
     for nworkers, t_serial, t_dist, report in points:
@@ -88,3 +154,7 @@ def test_dist_executor_speedup(benchmark):
         # keeps the task imbalance within a small factor.
         assert all(n > 0 for n in tasks.values())
         assert max(tasks.values()) <= 3 * min(tasks.values())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Benchmark regression gate: compare a BENCH_dist.json against a baseline.
+
+``python benchmarks/compare.py BASELINE CURRENT [--tolerance 0.15]``
+exits nonzero when the current run regresses:
+
+* **task counts** (``ntasks``, ``tasks_per_rank``) must match the
+  baseline *exactly* — the plan is deterministic per seed, so any drift
+  means the inspector or the column assignment changed behaviour;
+* **speedup** (serial wall time / distributed wall time, measured in the
+  same process on the same host) must stay within ``tolerance`` of the
+  baseline.  The ratio is machine-normalized to first order, which is
+  what lets a baseline recorded on one host gate runs on another; raw
+  ``serial_s``/``dist_s`` seconds are carried for the human reading the
+  file but are not gated.
+
+Getting faster never fails the gate (improvements are reported, not
+punished).  ``--update`` replaces the baseline with the current result
+and exits 0 — the "ratify the new performance" escape hatch after a
+deliberate change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return the list of regression messages (empty = gate passes)."""
+    problems: list[str] = []
+    base_points = {pt["workers"]: pt for pt in baseline.get("points", [])}
+    cur_points = {pt["workers"]: pt for pt in current.get("points", [])}
+
+    if baseline.get("small") != current.get("small"):
+        problems.append(
+            f"problem size differs: baseline small={baseline.get('small')}, "
+            f"current small={current.get('small')} (comparing apples to oranges)"
+        )
+        return problems
+
+    for workers in sorted(base_points):
+        if workers not in cur_points:
+            problems.append(f"workers={workers}: point missing from current run")
+            continue
+        base, cur = base_points[workers], cur_points[workers]
+
+        if cur["ntasks"] != base["ntasks"]:
+            problems.append(
+                f"workers={workers}: task count changed "
+                f"{base['ntasks']} -> {cur['ntasks']} (plan drift)"
+            )
+        if cur["tasks_per_rank"] != base["tasks_per_rank"]:
+            problems.append(
+                f"workers={workers}: per-rank task split changed "
+                f"{base['tasks_per_rank']} -> {cur['tasks_per_rank']} "
+                f"(column assignment drift)"
+            )
+
+        floor = base["speedup"] * (1.0 - tolerance)
+        if cur["speedup"] < floor:
+            problems.append(
+                f"workers={workers}: speedup regressed "
+                f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                f"(> {tolerance:.0%} below baseline; dist time "
+                f"{base['dist_s']:.2f}s -> {cur['dist_s']:.2f}s)"
+            )
+        elif cur["speedup"] > base["speedup"] * (1.0 + tolerance):
+            print(
+                f"workers={workers}: speedup improved "
+                f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                f"(consider --update to ratify)"
+            )
+
+    for workers in sorted(set(cur_points) - set(base_points)):
+        print(f"workers={workers}: new point (not in baseline, not gated)")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_dist.json to gate against")
+    ap.add_argument("current", help="freshly produced BENCH_dist.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional speedup drop (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline with the current result and exit 0")
+    args = ap.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+
+    problems = compare(load(args.baseline), load(args.current), args.tolerance)
+    if problems:
+        for p in problems:
+            print(f"REGRESSION: {p}")
+        return 1
+    npts = len(load(args.baseline).get("points", []))
+    print(f"benchmark gate passed: {npts} point(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

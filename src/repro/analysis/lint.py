@@ -28,6 +28,12 @@ linter does not know about:
   fault-recovery deadline or produce negative durations.  Use
   ``time.monotonic()``; the one permitted wall stamp (report labeling /
   clock alignment) carries a ``# repro: noqa[L306]``.
+* **L307** — a ``threading.Thread`` created inside :mod:`repro.dist`
+  without ``daemon=True``.  Worker helper threads (heartbeat, prefetch)
+  must never block interpreter exit: the coordinator reaps failed
+  workers with ``terminate``/``join``, and a lingering non-daemon thread
+  wedges the process — exactly the hang the stall detector exists to
+  kill, but self-inflicted.
 
 Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
 ``noqa[all]``) to the offending line.
@@ -240,6 +246,24 @@ class _Walker(ast.NodeVisitor):
                 "breaks deadlines and durations); suppress a deliberate "
                 "wall stamp with # repro: noqa[L306]",
             )
+
+        if (
+            self._in_dist
+            and chain
+            and chain[-1] == "Thread"
+            and (len(chain) == 1 or chain[0] == "threading")
+        ):
+            daemon = next(
+                (kw.value for kw in node.keywords if kw.arg == "daemon"), None
+            )
+            if not (isinstance(daemon, ast.Constant) and daemon.value is True):
+                self._emit(
+                    "L307",
+                    node,
+                    "threading.Thread in repro.dist without daemon=True: a "
+                    "non-daemon helper thread blocks interpreter exit and "
+                    "wedges the coordinator's terminate/join reaping",
+                )
 
         if (
             len(chain) == 2

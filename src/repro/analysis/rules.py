@@ -136,3 +136,8 @@ register(Rule("L306", "wall-clock-in-dist", E,
               "suppresses deadlines and yields negative durations); a "
               "single wall stamp for report labeling may be suppressed "
               "with # repro: noqa[L306]"))
+register(Rule("L307", "non-daemon-thread-in-dist", W,
+              "a threading.Thread created inside repro.dist without "
+              "daemon=True: a worker whose helper thread (heartbeat, "
+              "prefetch) is non-daemon cannot be reaped by the "
+              "coordinator's terminate/join and wedges process exit"))

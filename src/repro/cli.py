@@ -10,6 +10,10 @@ Commands mirror the paper's evaluation artifacts:
 * ``selftest``   — numeric end-to-end check of the distributed plan;
 * ``trace``      — run a problem on the real multi-process executor and
   write its merged per-rank Chrome trace plus a metrics summary;
+* ``monitor``    — render a run's live per-rank health table from its
+  ``run-events.jsonl`` event log (``--follow`` tails a running job);
+* ``metrics``    — run a small distributed job and print its merged
+  metrics in Prometheus text exposition format;
 * ``analyze``    — static plan verifier + task-graph checks (CI gate);
 * ``lint``       — AST concurrency lint over the source tree (CI gate).
 """
@@ -126,8 +130,17 @@ def _cmd_selftest(args) -> int:
         b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
         machine = summit(args.procs)
         c_serial, _ = psgemm_numeric(a, b, machine, p=args.procs)
+        dist_kwargs = {}
+        if getattr(args, "events", None):
+            dist_kwargs["events_path"] = args.events
+        if fault_plan is not None and any(
+            inj.kind == "stall" for inj in fault_plan.injections
+        ):
+            # Tighten the heartbeat cadence so an injected stall is caught
+            # in about a second instead of the production-default window.
+            dist_kwargs.update(heartbeat_interval=0.1, stall_after_beats=5)
         c_dist, report = psgemm_distributed(
-            a, b, machine, p=args.procs, fault_plan=fault_plan
+            a, b, machine, p=args.procs, fault_plan=fault_plan, **dist_kwargs
         )
         exact = np.array_equal(c_dist.to_dense(), c_serial.to_dense())
         ok = exact and np.allclose(c_dist.to_dense(), a.to_dense() @ b.to_dense())
@@ -181,6 +194,62 @@ def _cmd_trace(args) -> int:
     print(f"wrote {args.output}: {len(events)} span(s) across "
           f"{report.nworkers} rank(s)")
     print(report.observability_summary())
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    import os
+    import time
+
+    from repro.dist import read_events, replay_health
+
+    def render() -> tuple[str, bool]:
+        if not os.path.exists(args.events):
+            return f"(waiting for {args.events})", False
+        events = read_events(args.events)
+        health = replay_health(events)
+        finished = any(ev.get("event") == "done" for ev in events)
+        last = events[-1]["t"] if events else None
+        table = health.table(now=last)
+        head = f"{args.events}: {len(events)} event(s)" + (
+            " — run complete" if finished else ""
+        )
+        return head + "\n" + table, finished
+
+    if not args.follow:
+        text, _ = render()
+        print(text)
+        return 0 if os.path.exists(args.events) else 1
+
+    while True:
+        text, finished = render()
+        print(text, flush=True)
+        if finished:
+            return 0
+        time.sleep(args.interval)
+
+
+def _cmd_metrics(args) -> int:
+    from repro.core import psgemm_distributed
+    from repro.machine import summit
+    from repro.sparse import random_block_sparse
+    from repro.tiling import random_tiling
+
+    rows = random_tiling(args.m, 20, 80, seed=args.seed)
+    inner = random_tiling(args.k, 20, 80, seed=args.seed + 1)
+    a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
+    b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
+    _, report = psgemm_distributed(
+        a, b, summit(args.procs), p=args.procs,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    text = report.metrics.to_prometheus()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}: {len(text.splitlines())} line(s)")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -268,10 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--procs", type=int, metavar="N",
                     help="run the plan across N real worker processes and "
                          "crosscheck bit-for-bit against the serial executor")
-    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay]",
+    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay|stall]",
                     help="with --procs: sabotage worker RANK after TASK GEMM "
-                         "tasks and verify the retry/reassign recovery still "
-                         "produces the exact result")
+                         "tasks (stall hangs it silently until the missed-"
+                         "heartbeat detector fires) and verify the "
+                         "retry/reassign recovery still produces the exact "
+                         "result")
+    st.add_argument("--events", metavar="PATH",
+                    help="with --procs: append the run's life-cycle events "
+                         "(heartbeats, stalls, retries) to PATH as JSONL")
     st.set_defaults(func=_cmd_selftest)
 
     tr = sub.add_parser(
@@ -288,6 +362,35 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--k", type=int, default=900,
                     help="inner dimension (problem size)")
     tr.set_defaults(func=_cmd_trace)
+
+    mo = sub.add_parser(
+        "monitor",
+        help="render a run's per-rank health table from its event log",
+    )
+    mo.add_argument("events", nargs="?", default="run-events.jsonl",
+                    help="path to the run's JSONL event log "
+                         "(default run-events.jsonl)")
+    mo.add_argument("--follow", action="store_true",
+                    help="keep re-rendering until the run's 'done' event")
+    mo.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between --follow refreshes (default 1)")
+    mo.set_defaults(func=_cmd_monitor)
+
+    me = sub.add_parser(
+        "metrics",
+        help="run a small distributed job and print Prometheus metrics",
+    )
+    me.add_argument("--procs", type=int, default=2,
+                    help="number of real worker processes (default 2)")
+    me.add_argument("--m", type=int, default=200,
+                    help="rows of A (problem size)")
+    me.add_argument("--k", type=int, default=600,
+                    help="inner dimension (problem size)")
+    me.add_argument("--heartbeat-interval", type=float, default=0.1,
+                    help="worker heartbeat cadence in seconds (default 0.1)")
+    me.add_argument("-o", "--output",
+                    help="write the exposition text to a file instead of stdout")
+    me.set_defaults(func=_cmd_metrics)
 
     an = sub.add_parser(
         "analyze",

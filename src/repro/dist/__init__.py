@@ -17,13 +17,23 @@ oracle: same plan, same seeds, identical C.
 * :mod:`~repro.dist.worker` — the per-rank process with double-buffered
   chunk prefetch and fault hooks;
 * :mod:`~repro.dist.coordinator` — scatter / supervise / reduce / clean up;
-* :mod:`~repro.dist.faults` — kill/delay fault plans for recovery tests.
+* :mod:`~repro.dist.faults` — kill/delay/stall fault plans for recovery tests;
+* :mod:`~repro.dist.health` — live heartbeats, stall/straggler detection,
+  and the structured run-event log ``repro monitor`` attaches to.
 """
 
 from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
 from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Endpoint
 from repro.dist.coordinator import DistExecutionError, DistReport, execute_plan_distributed
 from repro.dist.faults import FaultInjection, FaultPlan
+from repro.dist.health import (
+    EventLog,
+    HeartbeatMsg,
+    RankHealth,
+    RunHealth,
+    read_events,
+    replay_health,
+)
 from repro.dist.tile_store import ArenaMeta, TileArena, active_segments
 from repro.dist.worker import ScatterMsg, WorkerReport
 
@@ -37,12 +47,18 @@ __all__ = [
     "DistExecutionError",
     "DistReport",
     "Endpoint",
+    "EventLog",
     "FaultInjection",
     "FaultPlan",
+    "HeartbeatMsg",
+    "RankHealth",
+    "RunHealth",
     "ScatterMsg",
     "TileArena",
     "WorkerReport",
     "active_segments",
     "execute_plan_distributed",
+    "read_events",
+    "replay_health",
     "validate_b_budget",
 ]

@@ -43,6 +43,7 @@ from collections import Counter, OrderedDict
 import numpy as np
 
 from repro.runtime.gpu_memory import GpuMemory
+from repro.runtime.metrics import MetricsRegistry
 
 
 def validate_b_budget(shape, budget_bytes: int) -> None:
@@ -71,7 +72,8 @@ class BService:
     unchanged.
     """
 
-    def __init__(self, collection, budget_bytes: int, recorder=None):
+    def __init__(self, collection, budget_bytes: int, recorder=None,
+                 metrics: MetricsRegistry | None = None):
         validate_b_budget(collection.shape, budget_bytes)
         self._col = collection
         self._mem = GpuMemory(budget_bytes)
@@ -80,6 +82,19 @@ class BService:
         self.hits = 0
         self.lru_evictions = 0
         self._rec = recorder
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_hits = registry.counter(
+            "repro_b_service_hits_total", "B-tile cache hits"
+        )
+        self._m_misses = registry.counter(
+            "repro_b_service_misses_total", "B-tile instantiations (cache misses)"
+        )
+        self._m_evictions = registry.counter(
+            "repro_b_service_evictions_total", "B-tile LRU evictions"
+        )
+        self._m_cached = registry.gauge(
+            "repro_b_service_cached_bytes", "bytes resident in the B LRU", agg="sum"
+        )
 
     def has_tile(self, k: int, j: int) -> bool:
         return self._col.has_tile(k, j)
@@ -93,6 +108,7 @@ class BService:
         if hit is not None:
             self._lru.move_to_end(key)
             self.hits += 1
+            self._m_hits.inc()
             return hit
         rec = self._rec
         timed = rec is not None and rec.enabled
@@ -101,13 +117,16 @@ class BService:
         if timed:
             rec.record(f"gen.{k}.{j}", f"cpu.{proc}", t_start, rec.now())
         self.instantiations[key] += 1
+        self._m_misses.inc()
         # Make room: shed least-recently-used tiles until the budget fits.
         while self._lru and self._mem.free < data.nbytes:
             old, _ = self._lru.popitem(last=False)
             self._mem.release(f"b{old}")
             self.lru_evictions += 1
+            self._m_evictions.inc()
         self._mem.reserve(f"b{key}", data.nbytes)
         self._lru[key] = data
+        self._m_cached.set_max(self._mem.used)
         return data
 
     def evict(self, proc: int, k: int, j: int) -> None:
@@ -138,11 +157,18 @@ class ArenaBSource:
     across the two backings.
     """
 
-    def __init__(self, arena):
+    def __init__(self, arena, metrics: MetricsRegistry | None = None):
         self._arena = arena
         self._pulled: set[tuple[int, int]] = set()
         self.hits = 0
         self.lru_evictions = 0
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_hits = registry.counter(
+            "repro_b_service_hits_total", "B-tile cache hits"
+        )
+        self._m_misses = registry.counter(
+            "repro_b_service_misses_total", "B-tile instantiations (cache misses)"
+        )
 
     def has_tile(self, k: int, j: int) -> bool:
         return (k, j) in self._arena
@@ -153,8 +179,10 @@ class ArenaBSource:
     def tile(self, proc: int, k: int, j: int) -> np.ndarray:
         if (k, j) in self._pulled:
             self.hits += 1
+            self._m_hits.inc()
         else:
             self._pulled.add((k, j))
+            self._m_misses.inc()
         return self._arena.get((k, j))
 
     def generated_tiles(self) -> int:

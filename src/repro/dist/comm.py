@@ -10,6 +10,13 @@ model the grid-row A broadcast: each A tile they need but do not own under
 the 2D-cyclic placement is charged to the ``owner -> rank`` link, which
 reproduces the inspector's ``a_recv_bytes`` per process exactly (the tests
 assert this).
+
+A third, out-of-band channel carries **telemetry**: periodic worker
+heartbeats (:class:`repro.dist.health.HeartbeatMsg`) flow through their
+own shared queue so they can never reorder or delay the control-plane
+``done``/``error`` messages, and their bytes are accounted in a separate
+``telemetry_bytes`` counter so the plan-derived comm-volume crosschecks
+stay byte-exact regardless of heartbeat cadence.
 """
 
 from __future__ import annotations
@@ -40,8 +47,10 @@ class Endpoint:
     rank: int
     inboxes: list
     gather: object
+    telemetry: object = None
     link_bytes: Counter = field(default_factory=Counter)
     messages: Counter = field(default_factory=Counter)
+    telemetry_bytes: Counter = field(default_factory=Counter)
 
     def send(self, dst: int, msg) -> int:
         blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
@@ -60,6 +69,24 @@ class Endpoint:
         src, blob = source.get(timeout=timeout)
         return src, pickle.loads(blob), len(blob)
 
+    def send_telemetry(self, msg) -> int:
+        """Ship a heartbeat to the coordinator on the out-of-band channel.
+
+        Byte-counted separately from ``link_bytes`` so telemetry cadence
+        never perturbs the plan-derived comm-volume crosschecks.  Safe to
+        call from a worker's heartbeat thread while the main thread uses
+        :meth:`send` — the two paths touch disjoint queues and counters.
+        """
+        blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        self.telemetry_bytes[(self.rank, COORDINATOR)] += len(blob)
+        self.telemetry.put((self.rank, blob))
+        return len(blob)
+
+    def recv_telemetry(self):
+        """Non-blocking telemetry receive; raises :class:`Empty` when drained."""
+        src, blob = self.telemetry.get_nowait()
+        return src, pickle.loads(blob), len(blob)
+
 
 class CommLayer:
     """The queue fabric for one distributed run (created by the coordinator)."""
@@ -68,12 +95,18 @@ class CommLayer:
         self.nranks = nranks
         self._inboxes = [ctx.Queue() for _ in range(nranks)]
         self._gather = ctx.Queue()
+        self._telemetry = ctx.Queue()
 
     def endpoint(self, rank: int) -> Endpoint:
-        return Endpoint(rank=rank, inboxes=self._inboxes, gather=self._gather)
+        return Endpoint(
+            rank=rank,
+            inboxes=self._inboxes,
+            gather=self._gather,
+            telemetry=self._telemetry,
+        )
 
     def close(self) -> None:
-        for q in [*self._inboxes, self._gather]:
+        for q in [*self._inboxes, self._gather, self._telemetry]:
             q.close()
             q.join_thread()
 
@@ -92,11 +125,20 @@ class CommStats:
 
     link_bytes: Counter = field(default_factory=Counter)
     messages: Counter = field(default_factory=Counter)
+    telemetry_bytes: Counter = field(default_factory=Counter)
 
     def absorb(self, link_bytes, messages=None) -> None:
         self.link_bytes.update(link_bytes)
         if messages:
             self.messages.update(messages)
+
+    def absorb_telemetry(self, telemetry_bytes) -> None:
+        """Fold in out-of-band heartbeat traffic (kept off ``link_bytes``)."""
+        self.telemetry_bytes.update(telemetry_bytes)
+
+    def telemetry_total(self) -> int:
+        """Heartbeat bytes shipped worker -> coordinator, all ranks."""
+        return sum(self.telemetry_bytes.values())
 
     def scatter_bytes(self) -> int:
         """Coordinator -> workers (plan scatter) bytes."""
@@ -114,12 +156,16 @@ class CommStats:
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"scatter {fmt_bytes(self.scatter_bytes())}, "
             f"gather {fmt_bytes(self.gather_bytes())}, "
             f"A broadcast {fmt_bytes(self.a_broadcast_bytes())} "
             f"over {len(self.link_bytes)} links"
         )
+        telemetry = self.telemetry_total()
+        if telemetry:
+            text += f" (+{fmt_bytes(telemetry)} telemetry)"
+        return text
 
     def table(self) -> str:
         """Per-link traffic rendered as text, heaviest links first."""

@@ -26,6 +26,13 @@ Responsibilities:
   each recorder's single wall-clock sample) into one
   :class:`~repro.runtime.tracing.Trace`, so ``to_chrome_trace()`` and
   utilization queries work on real runs exactly as on simulated ones;
+* **monitor** — drain worker heartbeats off the comm layer's telemetry
+  channel into a live :class:`~repro.dist.health.RunHealth`: a rank
+  silent for ``stall_after_beats`` heartbeat intervals is declared
+  *stalled* and fed into the same recovery path a crashed worker takes
+  (terminate, retry once, then reassign), slow-but-beating ranks are
+  flagged as stragglers, and every life-cycle transition is appended to
+  the ``events_path`` JSONL log (the attach point for ``repro monitor``);
 * **clean up** — terminate stragglers and unlink every shared-memory
   segment in a ``finally``, success or not (the leak tests attach-probe
   every name afterwards).
@@ -48,9 +55,11 @@ from repro.core.plan import ExecutionPlan
 from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
 from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Empty
 from repro.dist.faults import FaultPlan
+from repro.dist.health import EventLog, RunHealth
 from repro.dist.tile_store import TileArena
 from repro.dist.worker import ScatterMsg, WorkerReport, modeled_a_link_bytes, worker_main
 from repro.runtime.data import GeneratedCollection, MatrixSource
+from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.numeric import NumericStats, execute_proc_plan
 from repro.runtime.tracing import SpanRecorder, Trace
 from repro.sparse.matrix import BlockSparseMatrix
@@ -81,8 +90,17 @@ class DistReport:
     started_at: float = 0.0  # wall-clock stamp, labeling only
     b_hits: int = 0
     b_evictions: int = 0
-    span_dropped: int = 0
+    spans_dropped: int = 0
     shm_bytes: int = 0
+    metrics: MetricsSnapshot | None = None
+    health: RunHealth | None = None
+    events_path: str | None = None
+    stalled: list[int] = field(default_factory=list)
+
+    @property
+    def span_dropped(self) -> int:
+        """Deprecated alias for :attr:`spans_dropped` (pre-rename name)."""
+        return self.spans_dropped
 
     def summary(self) -> str:
         retried = {r: a for r, a in self.attempts.items() if a > 1}
@@ -90,6 +108,7 @@ class DistReport:
             f"{self.nworkers} workers, {self.stats.ntasks} tasks, "
             f"comm: {self.comm.summary()}"
             + (f", retried {sorted(retried)}" if retried else "")
+            + (f", stalled {sorted(set(self.stalled))}" if self.stalled else "")
             + (f", reassigned {sorted(self.reassigned)}" if self.reassigned else "")
         )
 
@@ -152,9 +171,14 @@ class DistReport:
             f"shared memory: {len(self.segments)} segments, "
             f"{fmt_bytes(self.shm_bytes)} of tiles"
         )
-        if self.span_dropped:
+        if self.health is not None and self.health.heartbeats:
             lines.append(
-                f"WARNING: {self.span_dropped} spans dropped at the recorder bound"
+                f"telemetry: {self.health.heartbeats} heartbeats "
+                f"({fmt_bytes(self.comm.telemetry_total())})"
+            )
+        if self.spans_dropped:
+            lines.append(
+                f"WARNING: {self.spans_dropped} spans dropped at the recorder bound"
             )
         lines.append(self.comm.table())
         return "\n".join(lines)
@@ -179,6 +203,12 @@ def execute_plan_distributed(
     start_method: str | None = None,
     verify_plan: bool = False,
     trace: bool = True,
+    trace_max_spans: int = 200_000,
+    heartbeat_interval: float = 0.25,
+    stall_after_beats: int = 8,
+    straggler_fraction: float = 0.25,
+    metrics: bool = True,
+    events_path: str | None = None,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -193,6 +223,18 @@ def execute_plan_distributed(
     a single shared-memory segment is created.  ``trace=False`` disables
     span recording end to end (no clock reads in the workers' hot loops);
     the numeric result is identical either way.
+
+    Live telemetry: with a positive ``heartbeat_interval`` every worker
+    beats on the out-of-band telemetry channel; a rank silent for
+    ``stall_after_beats`` intervals (plus a startup grace before its
+    first beat) is treated exactly like a crashed one — terminated,
+    retried, then reassigned.  ``heartbeat_interval=0`` disables both
+    heartbeats and stall detection.  ``metrics`` ships a cumulative
+    :class:`~repro.runtime.metrics.MetricsSnapshot` with each beat and
+    report; the merged run-wide snapshot lands in ``report.metrics``.
+    ``events_path`` appends the run's life-cycle (``plan_accepted``,
+    ``worker_up``, ``heartbeat``, ``stall``, ``reassign``, ``done``, ...)
+    as JSONL — the file ``repro monitor`` tails.
     """
     if verify_plan:
         from repro.analysis import assert_plan_valid  # late import: avoid cycle
@@ -221,8 +263,35 @@ def execute_plan_distributed(
     comm_stats = CommStats()
     # The coordinator's own recorder doubles as the run's monotonic clock
     # and the alignment anchor for every rank's span stream.
-    rec = SpanRecorder(enabled=trace)
+    rec = SpanRecorder(enabled=trace, max_spans=trace_max_spans)
     clock = rec.now
+
+    registry = MetricsRegistry(enabled=metrics)
+    m_heartbeats = registry.counter(
+        "repro_heartbeats_total", "worker heartbeats received"
+    )
+    m_stalls = registry.counter(
+        "repro_stalls_detected_total", "ranks declared stalled via missed heartbeats"
+    )
+    m_retries = registry.counter(
+        "repro_worker_retries_total", "worker processes respawned after a failure"
+    )
+    m_reassigned = registry.counter(
+        "repro_ranks_reassigned_total", "ranks reassigned to the coordinator"
+    )
+    health = RunHealth(
+        heartbeat_interval=heartbeat_interval,
+        stall_after_beats=stall_after_beats,
+        straggler_fraction=straggler_fraction,
+    )
+    events = EventLog(events_path)
+    events.emit(
+        "plan_accepted",
+        nranks=nranks,
+        heartbeat_interval=heartbeat_interval,
+        stall_after_beats=stall_after_beats,
+        tasks_per_rank={r: plan.procs[r].ntasks for r in range(nranks)},
+    )
 
     arenas: list[TileArena] = []
     workers: dict[int, mp.Process] = {}
@@ -256,6 +325,9 @@ def execute_plan_distributed(
         # ---- scatter ------------------------------------------------------
         attempts = {rank: 1 for rank in range(nranks)}
         c_arenas: dict[int, TileArena] = {}
+        #: The freshest cumulative MetricsSnapshot per rank — heartbeats
+        #: update it live, the rank's final report supersedes them.
+        last_metrics: dict[int, MetricsSnapshot] = {}
 
         def scatter(rank: int, attempt: int) -> None:
             c_arenas[rank] = make_c_arena(rank, attempt)
@@ -276,10 +348,21 @@ def execute_plan_distributed(
                 fault=inj,
                 attempt=attempt,
                 trace=trace,
+                max_spans=trace_max_spans,
+                heartbeat_interval=heartbeat_interval,
+                metrics=metrics,
             )
             t_send = clock()
             coord.send(rank, msg)
             rec.record(f"scatter.{rank}", f"net.{rank}", t_send, clock())
+            health.on_scatter(
+                rank, plan.procs[rank].ntasks, attempt, time.monotonic()
+            )
+            last_metrics.pop(rank, None)  # a fresh attempt restarts its counters
+            events.emit(
+                "scatter", rank=rank, attempt=attempt,
+                tasks_total=plan.procs[rank].ntasks,
+            )
 
         def spawn(rank: int) -> None:
             proc = ctx.Process(
@@ -296,6 +379,7 @@ def execute_plan_distributed(
         reports: dict[int, WorkerReport] = {}
         local_results: dict[int, dict] = {}
         reassigned: list[int] = []
+        stalled: list[int] = []
         pending = set(range(nranks))
         suspects: dict[int, float] = {}
         deadline = time.monotonic() + timeout
@@ -334,15 +418,25 @@ def execute_plan_distributed(
                 b_lru_evictions=b_local.lru_evictions,
             )
             reassigned.append(rank)
+            m_reassigned.inc()
+            health.mark(rank, "reassigned")
+            events.emit("reassign", rank=rank, attempt=attempts[rank])
 
         def on_failure(rank: int, reason: str) -> None:
             suspects.pop(rank, None)
             old = workers.pop(rank, None)
-            if old is not None and old.is_alive():  # pragma: no cover - defensive
+            if old is not None and old.is_alive():
+                # Still breathing (a stalled or wedged worker): put it down
+                # before its rank is re-executed anywhere else.
                 old.terminate()
                 old.join(timeout=1.0)
             if attempts[rank] <= max_retries:
                 attempts[rank] += 1
+                m_retries.inc()
+                health.mark(rank, "retried")
+                events.emit(
+                    "retry", rank=rank, attempt=attempts[rank] - 1, reason=reason
+                )
                 spawn(rank)
                 scatter(rank, attempt=attempts[rank] - 1)
             elif allow_reassign:
@@ -354,22 +448,74 @@ def execute_plan_distributed(
                     f"rank {rank} failed after {attempts[rank]} attempt(s): {reason}"
                 )
 
+        def drain_telemetry() -> None:
+            """Fold every queued heartbeat into the live health picture."""
+            while True:
+                try:
+                    src, hb, nbytes = coord.recv_telemetry()
+                except Empty:
+                    return
+                comm_stats.absorb_telemetry({(src, COORDINATOR): nbytes})
+                now = time.monotonic()
+                first = (
+                    health.ranks.get(hb.rank) is not None
+                    and health.ranks[hb.rank].first_beat is None
+                )
+                if not health.on_heartbeat(hb, now):
+                    continue  # late beat from a terminated attempt
+                m_heartbeats.inc()
+                if hb.metrics is not None:
+                    last_metrics[hb.rank] = hb.metrics
+                if first:
+                    events.emit("worker_up", rank=hb.rank, attempt=hb.attempt)
+                events.emit(
+                    "heartbeat", rank=hb.rank, attempt=hb.attempt, seq=hb.seq,
+                    tasks_done=hb.tasks_done, uptime=round(hb.uptime, 3),
+                )
+
+        flagged_stragglers: set[int] = set()
+
+        def patrol() -> None:
+            """Dead-worker, stall, and straggler checks between messages."""
+            now = time.monotonic()
+            for rank in sorted(pending):
+                proc = workers.get(rank)
+                if proc is not None and proc.exitcode is not None:
+                    first = suspects.setdefault(rank, now)
+                    if now - first >= _GRACE_SECONDS:
+                        on_failure(rank, f"worker exited with code {proc.exitcode}")
+            for rank in health.stalled_ranks(time.monotonic(), pending):
+                m_stalls.inc()
+                stalled.append(rank)
+                health.mark(rank, "stalled")
+                silent = time.monotonic() - health.ranks[rank].last_signal
+                events.emit(
+                    "stall", rank=rank, attempt=attempts[rank] - 1,
+                    silent_seconds=round(silent, 3),
+                )
+                on_failure(
+                    rank,
+                    f"stalled: no heartbeat for {silent:.2f} s "
+                    f"(> {stall_after_beats} x {heartbeat_interval} s)",
+                )
+            for rank in health.straggler_ranks(time.monotonic()):
+                if rank in flagged_stragglers:
+                    continue
+                flagged_stragglers.add(rank)
+                health.mark(rank, "straggler")
+                events.emit("straggler", rank=rank)
+
         while pending:
             if time.monotonic() > deadline:
                 raise DistExecutionError(
                     f"distributed run timed out after {timeout:.0f} s "
                     f"(pending ranks: {sorted(pending)})"
                 )
+            drain_telemetry()
             try:
                 src, msg, nbytes = coord.recv(timeout=0.1)
             except Empty:
-                now = time.monotonic()
-                for rank in sorted(pending):
-                    proc = workers.get(rank)
-                    if proc is not None and proc.exitcode is not None:
-                        first = suspects.setdefault(rank, now)
-                        if now - first >= _GRACE_SECONDS:
-                            on_failure(rank, f"worker exited with code {proc.exitcode}")
+                patrol()
                 continue
             kind, rank = msg[0], msg[1]
             comm_stats.absorb({(rank, COORDINATOR): nbytes}, {(rank, COORDINATOR): 1})
@@ -378,11 +524,22 @@ def execute_plan_distributed(
                     reports[rank] = msg[2]
                     pending.discard(rank)
                     suspects.pop(rank, None)
+                    if msg[2].metrics is not None:
+                        last_metrics[rank] = msg[2].metrics
+                    rh = health.ranks.get(rank)
+                    if rh is not None:
+                        rh.state = "done"
+                        rh.tasks_done = rh.tasks_total
+                    events.emit(
+                        "rank_done", rank=rank, attempt=msg[2].attempt,
+                        tasks=msg[2].stats.ntasks,
+                    )
             elif kind == "error":
                 if rank in pending:
                     on_failure(rank, msg[2])
             else:  # pragma: no cover - unknown message kind
                 raise DistExecutionError(f"unexpected message {kind!r} from rank {rank}")
+        drain_telemetry()  # beats raced against the final reports
 
         # ---- reduce -------------------------------------------------------
         out = BlockSparseMatrix(a.rows, plan.b_shape.cols)
@@ -415,11 +572,11 @@ def execute_plan_distributed(
                 out.accumulate_tile(i, j, tile)
         rec.record("reduce", "net.-1", t_reduce, clock())
 
-        # ---- merge stats / trace / comm -----------------------------------
+        # ---- merge stats / trace / comm / metrics -------------------------
         stats = NumericStats.merge([reports[rank].stats for rank in range(nranks)])
         run_trace = Trace()
         run_trace.extend(rec.spans)
-        span_dropped = rec.dropped
+        spans_dropped = rec.dropped
         for rank in range(nranks):
             stream = reports[rank].spans
             if stream is not None:
@@ -428,9 +585,16 @@ def execute_plan_distributed(
                 run_trace.extend(
                     stream.spans, offset=stream.wall_origin - rec.wall_origin
                 )
-                span_dropped += stream.dropped
+                spans_dropped += stream.dropped
             comm_stats.absorb(reports[rank].link_bytes)
         comm_stats.absorb(coord.link_bytes, coord.messages)
+        registry.counter(
+            "repro_spans_dropped_total",
+            "trace spans discarded at the recorder bound",
+        ).inc(rec.dropped)
+        merged_metrics = MetricsSnapshot.merge(
+            [last_metrics[r] for r in sorted(last_metrics)] + [registry.snapshot()]
+        ) if metrics else None
 
         dist_report = DistReport(
             stats=stats,
@@ -446,11 +610,24 @@ def execute_plan_distributed(
             started_at=rec.wall_origin,
             b_hits=sum(reports[r].b_hits for r in range(nranks)),
             b_evictions=sum(reports[r].b_lru_evictions for r in range(nranks)),
-            span_dropped=span_dropped,
+            spans_dropped=spans_dropped,
             shm_bytes=sum(arena.used_bytes for arena in arenas),
+            metrics=merged_metrics,
+            health=health,
+            events_path=events_path,
+            stalled=stalled,
+        )
+        events.emit(
+            "done",
+            ntasks=stats.ntasks,
+            heartbeats=health.heartbeats,
+            retried=sorted(r for r, a in attempts.items() if a > 1),
+            stalled=sorted(set(stalled)),
+            reassigned=sorted(reassigned),
         )
         return out, dist_report
     finally:
+        events.close()
         for proc in workers.values():
             if proc.is_alive():
                 proc.terminate()

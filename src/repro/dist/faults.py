@@ -3,10 +3,13 @@
 A :class:`FaultPlan` tells the coordinator which worker ranks to sabotage
 and how: ``kill`` makes the worker process exit abruptly (``os._exit``,
 no report, no cleanup — the closest a test can get to a crashed MPI rank)
-after executing its *k*-th GEMM task; ``delay`` makes it sleep there.  By
-default a fault fires only on a rank's first attempt (``once=True``), so
-the coordinator's retry-once recovery succeeds; with ``once=False`` the
-fault is persistent and recovery must fall through to reassignment.
+after executing its *k*-th GEMM task; ``delay`` makes it sleep there;
+``stall`` makes it hang *and* silences its heartbeat thread — the process
+stays alive to the OS but goes dark to the run, which only the
+coordinator's missed-heartbeat detector can catch.  By default a fault
+fires only on a rank's first attempt (``once=True``), so the
+coordinator's retry-once recovery succeeds; with ``once=False`` the fault
+is persistent and recovery must fall through to reassignment.
 """
 
 from __future__ import annotations
@@ -26,7 +29,8 @@ class FaultInjection:
         Fire after this many GEMM tasks have executed on the rank
         (1-based; a count past the rank's task total never fires).
     kind:
-        ``"kill"`` or ``"delay"``.
+        ``"kill"``, ``"delay"``, or ``"stall"`` (hang silently —
+        heartbeats stop, process stays alive).
     delay_seconds:
         Sleep length for ``"delay"``.
     once:
@@ -41,8 +45,10 @@ class FaultInjection:
     once: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay"):
-            raise ValueError(f"unknown fault kind {self.kind!r}; use 'kill' or 'delay'")
+        if self.kind not in ("kill", "delay", "stall"):
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; use 'kill', 'delay' or 'stall'"
+            )
         if self.rank < 0:
             raise ValueError(f"fault rank must be >= 0, got {self.rank}")
         if self.at_task < 1:
@@ -73,9 +79,15 @@ class FaultPlan:
         )
 
     @classmethod
+    def stall(cls, rank: int, at_task: int, once: bool = True) -> "FaultPlan":
+        return cls(
+            (FaultInjection(rank=rank, at_task=at_task, kind="stall", once=once),)
+        )
+
+    @classmethod
     def parse(cls, spec: str, nranks: int | None = None) -> "FaultPlan":
-        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay]``, comma-separated
-        for several ranks.
+        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay|stall]``,
+        comma-separated for several ranks.
 
         ``nranks`` (when known) bounds the rank field; duplicate ranks are
         rejected because at most one injection per rank is honoured.
@@ -87,12 +99,12 @@ class FaultPlan:
             if not part:
                 raise ValueError(
                     f"bad fault spec {spec!r}: empty entry; expected "
-                    f"comma-separated RANK:TASK[:kill|delay]"
+                    f"comma-separated RANK:TASK[:kill|delay|stall]"
                 )
             fields = part.split(":")
             if len(fields) not in (2, 3):
                 raise ValueError(
-                    f"bad fault spec {part!r}; expected RANK:TASK[:kill|delay]"
+                    f"bad fault spec {part!r}; expected RANK:TASK[:kill|delay|stall]"
                 )
             try:
                 rank, task = int(fields[0]), int(fields[1])
@@ -101,9 +113,10 @@ class FaultPlan:
                     f"bad fault spec {part!r}: RANK and TASK must be integers"
                 ) from None
             kind = fields[2] if len(fields) == 3 else "kill"
-            if kind not in ("kill", "delay"):
+            if kind not in ("kill", "delay", "stall"):
                 raise ValueError(
-                    f"bad fault kind {kind!r} in {part!r}; expected kill or delay"
+                    f"bad fault kind {kind!r} in {part!r}; "
+                    f"expected kill, delay or stall"
                 )
             if rank < 0:
                 raise ValueError(f"bad fault spec {part!r}: rank must be >= 0")

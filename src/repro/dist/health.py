@@ -1,0 +1,341 @@
+"""Live run health: heartbeats, stall/straggler detection, event log.
+
+The post-mortem observability layer (:mod:`repro.runtime.tracing`) tells
+you what happened *after* a run finishes; this module is the live layer —
+what the coordinator knows *while* workers run, and the only signal that
+can save a multi-hour allocation from a hung rank.
+
+Three pieces:
+
+* :class:`HeartbeatMsg` — the wire format workers emit on the comm
+  layer's telemetry channel every ``heartbeat_interval`` seconds: a
+  monotone sequence number, the rank's task progress, and a cumulative
+  :class:`~repro.runtime.metrics.MetricsSnapshot`.  Cumulative (not
+  incremental) on purpose: a lost heartbeat costs freshness, never data.
+* :class:`RunHealth` — the coordinator's aggregate: per-rank
+  :class:`RankHealth` state machines fed by heartbeats and supervision
+  events.  Two detectors run on it:
+
+  - **stall** — a rank whose last signal (scatter or heartbeat) is older
+    than ``stall_after_beats * heartbeat_interval`` is declared stalled.
+    The coordinator feeds that flag into the *same* fault-recovery path a
+    crashed worker takes (retry once, then reassign), so a hung worker's
+    columns are re-executed, not waited on.  Before a rank's first beat
+    of an attempt the window is widened by a startup grace (process
+    spawn + interpreter import can dwarf the heartbeat interval).
+  - **straggler** — a rank whose task-progress rate falls below
+    ``straggler_fraction`` of the median rate across beating ranks is
+    flagged (surfaced in the health table and the event log; unlike a
+    stall it triggers no recovery — slow is not dead).
+
+* :class:`EventLog` — a structured JSONL stream (``run-events.jsonl``)
+  of the run's life-cycle: ``plan_accepted``, ``worker_up``,
+  ``heartbeat``, ``stall``, ``straggler``, ``retry``, ``reassign``,
+  ``rank_done``, ``done``.  One writer (the coordinator), append-only,
+  one JSON object per line — the attach point for ``repro monitor`` and
+  the artifact CI uploads when a distributed test fails.
+
+Clock policy: detection runs purely on ``time.monotonic()`` deltas; the
+single wall-clock stamp per event exists only to label log lines for
+humans (same policy as ``DistReport.started_at``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.runtime.metrics import MetricsSnapshot
+
+#: Extra seconds granted before a rank's *first* heartbeat of an attempt
+#: counts as missing (process spawn + import can dwarf the interval).
+STARTUP_GRACE_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    """One worker heartbeat (the telemetry channel's wire format).
+
+    Attributes
+    ----------
+    rank:
+        The emitting worker rank.
+    attempt:
+        The rank's 0-based attempt number (heartbeats from a stale
+        attempt are discarded by the coordinator).
+    seq:
+        Monotone per-attempt sequence number (0 = the "worker up" beat,
+        sent as soon as the scatter is received).
+    tasks_done:
+        GEMM tasks the rank has executed so far (cumulative).
+    metrics:
+        Cumulative registry snapshot (``None`` when metrics are off).
+    uptime:
+        Seconds since the worker's monotonic origin — labeling only.
+    """
+
+    rank: int
+    attempt: int
+    seq: int
+    tasks_done: int
+    metrics: MetricsSnapshot | None = None
+    uptime: float = 0.0
+
+
+@dataclass
+class RankHealth:
+    """One rank's live state as the coordinator sees it.
+
+    ``last_signal``/``first_beat`` are coordinator-monotonic instants;
+    ``state`` walks ``scattered -> up -> running -> done`` with
+    ``stalled``/``straggler``/``retried``/``reassigned``/``failed``
+    excursions.
+    """
+
+    rank: int
+    tasks_total: int = 0
+    state: str = "scattered"
+    attempt: int = 0
+    beats: int = 0
+    seq: int = -1
+    tasks_done: int = 0
+    last_signal: float = 0.0
+    first_beat: float | None = None
+    stalls: int = 0
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the rank's planned tasks executed (0..1)."""
+        if self.tasks_total <= 0:
+            return 1.0 if self.state == "done" else 0.0
+        return min(1.0, self.tasks_done / self.tasks_total)
+
+    def rate(self, now: float) -> float:
+        """Tasks per second since the rank's first heartbeat."""
+        if self.first_beat is None:
+            return 0.0
+        elapsed = now - self.first_beat
+        if elapsed <= 0.0:
+            return 0.0
+        return self.tasks_done / elapsed
+
+
+class RunHealth:
+    """Aggregated live health of one distributed run.
+
+    Fed by the coordinator's supervise loop; queried by the stall and
+    straggler detectors and rendered by :meth:`table` (the ``repro
+    monitor`` view).  Picklable — it rides inside :class:`DistReport` so
+    post-mortem consumers see the final health picture too.
+    """
+
+    def __init__(self, heartbeat_interval: float = 0.0,
+                 stall_after_beats: int = 8,
+                 straggler_fraction: float = 0.25):
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_after_beats = stall_after_beats
+        self.straggler_fraction = straggler_fraction
+        self.ranks: dict[int, RankHealth] = {}
+        self.heartbeats = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.heartbeat_interval > 0.0
+
+    def on_scatter(self, rank: int, tasks_total: int, attempt: int,
+                   now: float) -> None:
+        """A (re)scatter resets the rank's attempt-local signal state."""
+        self.ranks[rank] = RankHealth(
+            rank=rank,
+            tasks_total=tasks_total,
+            attempt=attempt,
+            last_signal=now,
+            stalls=self.ranks[rank].stalls if rank in self.ranks else 0,
+        )
+
+    def on_heartbeat(self, hb: HeartbeatMsg, now: float) -> bool:
+        """Fold one heartbeat in; returns False for stale or late beats."""
+        rh = self.ranks.get(hb.rank)
+        if rh is None or hb.attempt != rh.attempt:
+            return False  # late beat from a terminated attempt
+        if rh.state in ("done", "reassigned", "failed"):
+            return False  # beat raced against the rank's final report
+        rh.beats += 1
+        rh.seq = max(rh.seq, hb.seq)
+        rh.tasks_done = max(rh.tasks_done, hb.tasks_done)
+        rh.last_signal = now
+        if rh.first_beat is None:
+            rh.first_beat = now
+            rh.state = "up"
+        if hb.tasks_done > 0 and rh.state in ("up", "straggler"):
+            rh.state = "running"
+        self.heartbeats += 1
+        return True
+
+    def mark(self, rank: int, state: str) -> None:
+        rh = self.ranks.get(rank)
+        if rh is not None:
+            rh.state = state
+            if state == "stalled":
+                rh.stalls += 1
+
+    def stalled_ranks(self, now: float, pending) -> list[int]:
+        """Ranks whose silence exceeds the missed-heartbeat window.
+
+        ``pending`` restricts the check to ranks the coordinator is still
+        waiting on.  Before a rank's first beat of the current attempt
+        the window is widened by :data:`STARTUP_GRACE_SECONDS`.
+        """
+        if not self.enabled:
+            return []
+        window = self.stall_after_beats * self.heartbeat_interval
+        out = []
+        for rank in sorted(pending):
+            rh = self.ranks.get(rank)
+            if rh is None or rh.state in ("done", "reassigned", "failed"):
+                continue
+            allowed = window if rh.first_beat is not None else window + STARTUP_GRACE_SECONDS
+            if now - rh.last_signal > allowed:
+                out.append(rank)
+        return out
+
+    def straggler_ranks(self, now: float) -> list[int]:
+        """Beating ranks whose progress rate trails the median.
+
+        Needs at least three beating, unfinished ranks (a median of one
+        or two is noise) and a nonzero median rate.
+        """
+        active = [
+            rh for rh in self.ranks.values()
+            if rh.beats > 0 and rh.state in ("up", "running", "straggler")
+        ]
+        if len(active) < 3:
+            return []
+        rates = {rh.rank: rh.rate(now) for rh in active}
+        med = median(rates.values())
+        if med <= 0.0:
+            return []
+        return sorted(
+            r for r, v in rates.items() if v < self.straggler_fraction * med
+        )
+
+    def table(self, now: float | None = None) -> str:
+        """The per-rank health table ``repro monitor`` renders."""
+        if not self.ranks:
+            return "(no ranks)"
+        lines = [
+            f"{'rank':>4s} {'state':<10s} {'att':>3s} {'beats':>5s} "
+            f"{'tasks':>11s} {'prog':>6s} {'rate/s':>8s} {'silent':>7s}"
+        ]
+        for rank in sorted(self.ranks):
+            rh = self.ranks[rank]
+            silent = f"{now - rh.last_signal:6.1f}s" if now is not None else "     --"
+            rate = f"{rh.rate(now):8.1f}" if now is not None else "      --"
+            lines.append(
+                f"{rank:>4d} {rh.state:<10s} {rh.attempt:>3d} {rh.beats:>5d} "
+                f"{rh.tasks_done:>5d}/{rh.tasks_total:<5d} {rh.progress:>6.0%} "
+                f"{rate} {silent}"
+            )
+        return "\n".join(lines)
+
+
+class EventLog:
+    """Append-only JSONL run events (``run-events.jsonl``).
+
+    One JSON object per line: ``{"t": <wall seconds>, "event": <kind>,
+    ...fields}``.  A ``path`` of ``None`` disables the log entirely (no
+    file handle, ``emit`` is a no-op); the coordinator is the only
+    writer, so lines are never interleaved.  Each ``emit`` flushes — a
+    monitor tailing the file (or a human with ``tail -f``) sees events
+    as they happen, and a crashed coordinator loses nothing.
+    """
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8") if path else None
+        self.count = 0
+
+    def emit(self, event: str, **fields) -> None:
+        if self._fh is None:
+            return
+        record = {"t": time.time(), "event": event}  # repro: noqa[L306]
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a ``run-events.jsonl`` file (skipping torn trailing lines)."""
+    out: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line of a live file
+    return out
+
+
+def replay_health(events: list[dict]) -> RunHealth:
+    """Rebuild a :class:`RunHealth` view from logged events.
+
+    This is how ``repro monitor`` attaches to a run it does not own: the
+    event log carries enough of the heartbeat stream to reconstruct the
+    per-rank table (sequence numbers, task progress, state transitions).
+    Wall timestamps in the log stand in for the coordinator's monotonic
+    clock — fine for display, never used for detection.
+    """
+    health = RunHealth()
+    for ev in events:
+        kind = ev.get("event")
+        rank = ev.get("rank")
+        t = ev.get("t", 0.0)
+        if kind == "plan_accepted":
+            health.heartbeat_interval = ev.get("heartbeat_interval", 0.0)
+            for r, total in (ev.get("tasks_per_rank") or {}).items():
+                health.on_scatter(int(r), int(total), attempt=0, now=t)
+        elif kind == "scatter" and rank is not None:
+            prev = health.ranks.get(int(rank))
+            health.on_scatter(
+                int(rank),
+                prev.tasks_total if prev else ev.get("tasks_total", 0),
+                attempt=int(ev.get("attempt", 0)),
+                now=t,
+            )
+        elif kind == "heartbeat" and rank is not None:
+            health.on_heartbeat(
+                HeartbeatMsg(
+                    rank=int(rank),
+                    attempt=int(ev.get("attempt", 0)),
+                    seq=int(ev.get("seq", 0)),
+                    tasks_done=int(ev.get("tasks_done", 0)),
+                ),
+                now=t,
+            )
+        elif kind == "worker_up" and rank is not None:
+            health.mark(int(rank), "up")
+        elif kind == "stall" and rank is not None:
+            health.mark(int(rank), "stalled")
+        elif kind == "straggler" and rank is not None:
+            health.mark(int(rank), "straggler")
+        elif kind == "retry" and rank is not None:
+            health.mark(int(rank), "retried")
+        elif kind == "reassign" and rank is not None:
+            health.mark(int(rank), "reassigned")
+        elif kind == "rank_done" and rank is not None:
+            rh = health.ranks.get(int(rank))
+            if rh is not None:
+                rh.state = "done"
+                rh.tasks_done = int(ev.get("tasks", rh.tasks_done))
+    return health

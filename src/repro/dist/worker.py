@@ -21,9 +21,20 @@ and ships the :class:`~repro.runtime.tracing.SpanStream` home in its
 report for the coordinator to merge.  With ``trace=False`` no clock is
 read in the hot loop (``on_event`` is ``None``) and no spans are stored.
 
+Live telemetry: when the scatter carries a positive ``heartbeat_interval``
+the worker runs a daemon heartbeat thread that ships a
+:class:`~repro.dist.health.HeartbeatMsg` — sequence number, cumulative
+task progress, a :class:`~repro.runtime.metrics.MetricsSnapshot` — to the
+coordinator on the comm layer's out-of-band telemetry channel every
+interval.  The first beat goes out immediately ("worker up"); the thread
+stops when the rank finishes, errors, or is deliberately stalled.
+
 Fault injection lives here too: after the *k*-th GEMM task the worker
 either dies abruptly (``os._exit`` — no report, no cleanup, like a crashed
-MPI rank) or stalls, per the scattered :class:`~repro.dist.faults.FaultInjection`.
+MPI rank), sleeps briefly (``delay``), or *stalls* — heartbeats stop and
+the main thread hangs, the closest a test can get to a livelocked rank
+that is alive to the OS but dead to the run.  Stalls are what the
+coordinator's missed-heartbeat detector exists to catch.
 """
 
 from __future__ import annotations
@@ -43,9 +54,16 @@ from repro.core.plan import Block, ProcPlan
 from repro.dist.bservice import ArenaBSource, BService
 from repro.dist.comm import COORDINATOR, Endpoint
 from repro.dist.faults import FaultInjection
+from repro.dist.health import HeartbeatMsg
 from repro.dist.tile_store import ArenaMeta, TileArena
+from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.numeric import NumericStats, execute_proc_plan
 from repro.runtime.tracing import SpanRecorder, SpanStream
+
+#: How long a deliberately stalled worker sleeps (it is terminated by the
+#: coordinator long before this elapses; the bound only guards against a
+#: run with stall detection disabled wedging forever past its timeout).
+STALL_SLEEP_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,9 @@ class ScatterMsg:
     fault: FaultInjection | None
     attempt: int
     trace: bool = True
+    max_spans: int = 200_000
+    heartbeat_interval: float = 0.0  # seconds; <= 0 disables heartbeats
+    metrics: bool = False
 
 
 @dataclass
@@ -80,6 +101,7 @@ class WorkerReport:
     b_max_instantiations: int = 0
     b_hits: int = 0
     b_lru_evictions: int = 0
+    metrics: MetricsSnapshot | None = None
 
 
 def modeled_a_link_bytes(
@@ -99,6 +121,74 @@ def modeled_a_link_bytes(
     return dict(links)
 
 
+class _Progress:
+    """Task counter shared between the executing and heartbeat threads.
+
+    A bare int attribute: the executing thread increments, the heartbeat
+    thread reads.  Both are atomic under the GIL; a beat that reads one
+    task too few is simply one interval stale.
+    """
+
+    __slots__ = ("tasks",)
+
+    def __init__(self):
+        self.tasks = 0
+
+
+class _HeartbeatThread:
+    """Emits one :class:`HeartbeatMsg` per interval on a daemon thread.
+
+    The first beat goes out immediately (the coordinator's "worker up"
+    signal), later beats every ``interval`` seconds.  ``suspend()`` stops
+    emission *without* waiting for the thread — the stall fault calls it
+    from the executing thread right before hanging, so the rank goes
+    silent exactly the way a livelocked worker would.
+    """
+
+    def __init__(self, endpoint: Endpoint, rank: int, attempt: int,
+                 interval: float, progress: _Progress,
+                 registry: MetricsRegistry, rec: SpanRecorder):
+        self._endpoint = endpoint
+        self._rank = rank
+        self._attempt = attempt
+        self._interval = interval
+        self._progress = progress
+        self._registry = registry
+        self._rec = rec
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        seq = 0
+        while not self._stop.is_set():
+            try:
+                self._endpoint.send_telemetry(
+                    HeartbeatMsg(
+                        rank=self._rank,
+                        attempt=self._attempt,
+                        seq=seq,
+                        tasks_done=self._progress.tasks,
+                        metrics=self._registry.snapshot(),
+                        uptime=self._rec.now(),
+                    )
+                )
+            except Exception:  # pragma: no cover - fabric torn down mid-beat
+                return
+            seq += 1
+            self._stop.wait(self._interval)
+
+    def suspend(self) -> None:
+        """Stop beating without joining (callable from any thread)."""
+        self._stop.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
 def _prefetching_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int):
     """A ``chunk_fetcher`` that double-buffers A chunks via a thread per block.
 
@@ -109,6 +199,27 @@ def _prefetching_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int):
     pipeline.  Disabled, neither side reads a clock.
     """
 
+    return _instrumented_fetcher(a_arena, rec, rank, MetricsRegistry(enabled=False))
+
+
+def _instrumented_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int,
+                          registry: MetricsRegistry):
+    """The prefetching fetcher plus live-metric observation.
+
+    Prefetch copy-out and hand-off wait durations feed both the span
+    recorder (post-mortem trace) and, when metrics are on, the
+    ``repro_prefetch_seconds`` / ``repro_prefetch_qwait_seconds``
+    histograms (live telemetry).  With both disabled no clock is read.
+    """
+    observe = registry.enabled
+    prefetch_hist = registry.histogram(
+        "repro_prefetch_seconds", "A-chunk prefetch copy-out durations"
+    )
+    qwait_hist = registry.histogram(
+        "repro_prefetch_qwait_seconds", "time blocked on the prefetch hand-off"
+    )
+    timed = rec.enabled or observe
+
     def fetcher(g: int, bi: int, block: Block):
         chunk_q: queue.Queue = queue.Queue(maxsize=1)
         link = f"gpu.{rank}.{g}.link"
@@ -116,23 +227,29 @@ def _prefetching_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int):
 
         def produce() -> None:
             for ci, chunk in enumerate(block.chunks):
-                t_start = rec.now() if rec.enabled else 0.0
+                t_start = rec.now() if timed else 0.0
                 tiles = [
                     np.array(a_arena.get((i, k)))
                     for i, k in zip(chunk.a_rows.tolist(), chunk.a_cols.tolist())
                 ]
-                if rec.enabled:
-                    rec.record(f"block{bi}.chunk{ci}.prefetch", link, t_start, rec.now())
+                if timed:
+                    t_end = rec.now()
+                    rec.record(f"block{bi}.chunk{ci}.prefetch", link, t_start, t_end)
+                    if observe:
+                        prefetch_hist.observe(t_end - t_start)
                 chunk_q.put(tiles)
 
         threading.Thread(target=produce, daemon=True).start()
 
         def fetch(ci: int, chunk) -> list[np.ndarray]:
-            if not rec.enabled:
+            if not timed:
                 return chunk_q.get()
             t_start = rec.now()
             tiles = chunk_q.get()
-            rec.record(f"block{bi}.chunk{ci}.qwait", wait, t_start, rec.now())
+            t_end = rec.now()
+            rec.record(f"block{bi}.chunk{ci}.qwait", wait, t_start, t_end)
+            if observe:
+                qwait_hist.observe(t_end - t_start)
             return tiles
 
         return fetch
@@ -145,17 +262,30 @@ def run_rank(
     *,
     origin: float | None = None,
     recv_done: float | None = None,
+    endpoint: Endpoint | None = None,
 ) -> WorkerReport:
     """Execute one scattered rank; returns the report (arena already written).
 
     ``origin``/``recv_done`` are monotonic instants bracketing the inbox
     wait in :func:`worker_main`; the recorder's clock is rooted at
-    ``origin`` so the wait appears as the rank's first span.
+    ``origin`` so the wait appears as the rank's first span.  ``endpoint``
+    carries heartbeats out on the telemetry channel; without one (or with
+    ``msg.heartbeat_interval <= 0``) the rank runs silently as before.
     """
     rank = msg.proc.rank
-    rec = SpanRecorder(enabled=msg.trace, origin=origin)
+    rec = SpanRecorder(enabled=msg.trace, max_spans=msg.max_spans, origin=origin)
     if msg.trace and origin is not None and recv_done is not None:
         rec.record("inbox.wait", f"net.{rank}", 0.0, recv_done - origin)
+    registry = MetricsRegistry(enabled=msg.metrics)
+    progress = _Progress()
+
+    hb: _HeartbeatThread | None = None
+    if endpoint is not None and msg.heartbeat_interval > 0.0:
+        hb = _HeartbeatThread(
+            endpoint, rank, msg.attempt, msg.heartbeat_interval,
+            progress, registry, rec,
+        )
+        hb.start()
 
     attached: list[TileArena] = []
     try:
@@ -167,26 +297,54 @@ def run_rank(
             if kind == "arena":
                 b_arena = TileArena.attach(payload)
                 attached.append(b_arena)
-                b_source = ArenaBSource(b_arena)
+                b_source = ArenaBSource(b_arena, metrics=registry)
             else:
                 b_source = BService(
-                    payload, budget_bytes=msg.gpu_memory_bytes, recorder=rec
+                    payload, budget_bytes=msg.gpu_memory_bytes, recorder=rec,
+                    metrics=registry,
                 )
 
             c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
             if c_arena is not None:
                 attached.append(c_arena)
+        registry.gauge(
+            "repro_shm_attached_bytes", "shared-memory bytes attached", agg="sum"
+        ).set(sum(arena.size for arena in attached))
 
         fault = msg.fault
-        executed = 0
+        tasks_counter = registry.counter(
+            "repro_gemm_tasks_total", "GEMM tasks executed"
+        )
 
         def on_task() -> None:
-            nonlocal executed
-            executed += 1
-            if fault is not None and executed == fault.at_task:
+            progress.tasks += 1
+            tasks_counter.inc()
+            if fault is not None and progress.tasks == fault.at_task:
                 if fault.kind == "kill":
                     os._exit(99)
-                time.sleep(fault.delay_seconds)
+                if fault.kind == "stall":
+                    # Go silent the way a livelocked rank would: stop the
+                    # heartbeat thread, then hang the executing thread.
+                    if hb is not None:
+                        hb.suspend()
+                    time.sleep(STALL_SLEEP_SECONDS)
+                else:
+                    time.sleep(fault.delay_seconds)
+
+        need_on_task = fault is not None or hb is not None or registry.enabled
+        gemm_hist = registry.histogram(
+            "repro_chunk_gemm_seconds", "per-chunk GEMM stream durations"
+        )
+
+        if rec.enabled or registry.enabled:
+            observe = registry.enabled
+
+            def on_event(task: str, resource: str, start: float, end: float) -> None:
+                rec.record(task, resource, start, end)
+                if observe and task.endswith(".gemm"):
+                    gemm_hist.observe(end - start)
+        else:
+            on_event = None
 
         produced, stats = execute_proc_plan(
             msg.proc,
@@ -197,9 +355,9 @@ def run_rank(
             b_csr=msg.b_csr,
             tau=msg.tau,
             alpha=msg.alpha,
-            chunk_fetcher=_prefetching_fetcher(a_arena, rec, rank),
-            on_task=on_task if fault is not None else None,
-            on_event=rec.record if rec.enabled else None,
+            chunk_fetcher=_instrumented_fetcher(a_arena, rec, rank, registry),
+            on_task=on_task if need_on_task else None,
+            on_event=on_event,
             clock=rec.now,
         )
         stats.b_tiles_generated = b_source.generated_tiles()
@@ -208,6 +366,18 @@ def run_rank(
         with rec.span(f"writeback.{rank}", f"net.{rank}"):
             for key, tile in produced.items():
                 c_index[key] = c_arena.put(key, tile)
+
+        if registry.enabled:
+            registry.counter(
+                "repro_gemm_flops_total", "floating-point operations executed"
+            ).inc(stats.flops)
+            registry.gauge(
+                "repro_gpu_peak_bytes", "peak device-memory high-water mark"
+            ).set(stats.gpu_peak_bytes)
+            registry.counter(
+                "repro_spans_dropped_total",
+                "trace spans discarded at the recorder bound",
+            ).inc(rec.dropped)
 
         return WorkerReport(
             rank=rank,
@@ -219,8 +389,11 @@ def run_rank(
             b_max_instantiations=b_source.max_instantiations(),
             b_hits=b_source.hits,
             b_lru_evictions=b_source.lru_evictions,
+            metrics=registry.snapshot() if registry.enabled else None,
         )
     finally:
+        if hb is not None:
+            hb.suspend()
         for arena in attached:
             arena.close()
 
@@ -230,7 +403,9 @@ def worker_main(rank: int, endpoint: Endpoint) -> None:
     t_spawn = time.monotonic()
     try:
         _, msg, _ = endpoint.recv()
-        report = run_rank(msg, origin=t_spawn, recv_done=time.monotonic())
+        report = run_rank(
+            msg, origin=t_spawn, recv_done=time.monotonic(), endpoint=endpoint
+        )
         endpoint.send(COORDINATOR, ("done", rank, report))
     except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
         try:

@@ -171,8 +171,12 @@ class Trace:
 
     def _capacity(self, resource: str, override) -> int:
         if override is not None and resource in override:
-            return override[resource]
-        return self.capacities.get(resource, 1)
+            cap = override[resource]
+        else:
+            cap = self.capacities.get(resource, 1)
+        # A zero/negative capacity entry (e.g. a degenerate machine spec)
+        # must degrade to unnormalized busy time, not ZeroDivisionError.
+        return max(cap, 1)
 
     def busy_time(self, resource: str, capacity: int | None = None) -> float:
         """Capacity-normalized busy seconds of a resource.
@@ -182,6 +186,7 @@ class Trace:
         capacity-1 resource would have been busy.
         """
         cap = capacity if capacity is not None else self.capacities.get(resource, 1)
+        cap = max(cap, 1)
         return sum(e.duration for e in self.events if e.resource == resource) / cap
 
     def utilization(self, capacities: dict[str, int] | None = None) -> dict[str, float]:

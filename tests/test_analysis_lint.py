@@ -188,6 +188,73 @@ class TestParseAndSuppression:
         """) == set()
 
 
+class TestDaemonThread:
+    """L307: threads inside repro.dist must be daemon=True."""
+
+    def _lint_dist(self, src):
+        return {
+            f.rule
+            for f in lint_source(
+                textwrap.dedent(src), filename="src/repro/dist/fixture.py"
+            )
+        }
+
+    def test_non_daemon_thread_in_dist_fires(self):
+        assert self._lint_dist("""
+            import threading
+
+            def start():
+                t = threading.Thread(target=loop)
+                t.start()
+        """) == {"L307"}
+
+    def test_daemon_true_is_clean(self):
+        assert self._lint_dist("""
+            import threading
+
+            def start():
+                t = threading.Thread(target=loop, daemon=True)
+                t.start()
+        """) == set()
+
+    def test_non_literal_daemon_still_fires(self):
+        # daemon=flag cannot be proven True statically; the rule demands
+        # the literal so the guarantee survives refactors.
+        assert self._lint_dist("""
+            import threading
+
+            def start(flag):
+                t = threading.Thread(target=loop, daemon=flag)
+                t.start()
+        """) == {"L307"}
+
+    def test_bare_thread_name_fires(self):
+        assert self._lint_dist("""
+            from threading import Thread
+
+            def start():
+                Thread(target=loop).start()
+        """) == {"L307"}
+
+    def test_outside_dist_is_ignored(self):
+        src = """
+            import threading
+
+            def start():
+                threading.Thread(target=loop).start()
+        """
+        assert _rules(src) == set()
+
+    def test_noqa_suppresses(self):
+        assert self._lint_dist("""
+            import threading
+
+            def start():
+                t = threading.Thread(target=loop)  # repro: noqa[L307]
+                t.start()
+        """) == set()
+
+
 class TestSourceTree:
     def test_repro_package_lints_clean(self):
         """The shipped source tree must stay lint-clean — this is the same

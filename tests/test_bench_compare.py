@@ -1,0 +1,156 @@
+"""Tests for the benchmark regression gate (``benchmarks/compare.py``).
+
+The gate script lives outside the package (it must run with nothing but a
+checkout), so it is loaded by path here.  Covers the three gated signals
+(exact task counts, exact per-rank splits, the speedup tolerance), the
+never-punish-improvements rule, and the CLI exit-code contract CI relies
+on.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", os.path.join(_ROOT, "benchmarks", "compare.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+compare_mod = _load_compare()
+
+
+def _baseline():
+    return {
+        "bench": "dist_executor",
+        "small": True,
+        "points": [
+            {"workers": 1, "serial_s": 0.2, "dist_s": 0.4, "speedup": 0.5,
+             "ntasks": 408, "tasks_per_rank": {"0": 408}, "heartbeats": 3},
+            {"workers": 2, "serial_s": 0.2, "dist_s": 0.38, "speedup": 0.52,
+             "ntasks": 408, "tasks_per_rank": {"0": 200, "1": 208},
+             "heartbeats": 6},
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        assert compare_mod.compare(_baseline(), _baseline(), 0.15) == []
+
+    def test_speedup_regression_fails(self):
+        cur = _baseline()
+        cur["points"][0]["speedup"] = 0.25  # 2x slower than 0.5
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert len(problems) == 1
+        assert "speedup regressed" in problems[0]
+
+    def test_drop_within_tolerance_passes(self):
+        cur = _baseline()
+        cur["points"][0]["speedup"] = 0.44  # 12% below, tolerance 15%
+        assert compare_mod.compare(_baseline(), cur, 0.15) == []
+
+    def test_improvement_never_fails(self, capsys):
+        cur = _baseline()
+        cur["points"][0]["speedup"] = 5.0
+        assert compare_mod.compare(_baseline(), cur, 0.15) == []
+        assert "improved" in capsys.readouterr().out
+
+    def test_task_count_drift_fails(self):
+        cur = _baseline()
+        cur["points"][0]["ntasks"] = 409
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert any("plan drift" in p for p in problems)
+
+    def test_per_rank_split_drift_fails(self):
+        cur = _baseline()
+        cur["points"][1]["tasks_per_rank"] = {"0": 204, "1": 204}
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert any("column assignment drift" in p for p in problems)
+
+    def test_missing_point_fails(self):
+        cur = _baseline()
+        cur["points"].pop()
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert any("missing" in p for p in problems)
+
+    def test_extra_point_is_not_gated(self, capsys):
+        cur = _baseline()
+        extra = copy.deepcopy(cur["points"][1])
+        extra["workers"] = 4
+        cur["points"].append(extra)
+        assert compare_mod.compare(_baseline(), cur, 0.15) == []
+        assert "not gated" in capsys.readouterr().out
+
+    def test_mismatched_problem_size_fails_early(self):
+        cur = _baseline()
+        cur["small"] = False
+        cur["points"][0]["speedup"] = 0.01  # would also regress, but...
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert len(problems) == 1  # ...the size mismatch short-circuits
+        assert "problem size differs" in problems[0]
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _baseline())
+        cur = self._write(tmp_path, "cur.json", _baseline())
+        assert compare_mod.main([base, cur]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        payload = _baseline()
+        payload["points"][0]["speedup"] = 0.2
+        base = self._write(tmp_path, "base.json", _baseline())
+        cur = self._write(tmp_path, "cur.json", payload)
+        assert compare_mod.main([base, cur]) == 1
+        assert "REGRESSION:" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        payload = _baseline()
+        payload["points"][0]["speedup"] = 0.4  # 20% below baseline
+        base = self._write(tmp_path, "base.json", _baseline())
+        cur = self._write(tmp_path, "cur.json", payload)
+        assert compare_mod.main([base, cur, "--tolerance", "0.15"]) == 1
+        assert compare_mod.main([base, cur, "--tolerance", "0.25"]) == 0
+
+    def test_update_ratifies_new_baseline(self, tmp_path):
+        payload = _baseline()
+        payload["points"][0]["speedup"] = 0.2
+        base = self._write(tmp_path, "base.json", _baseline())
+        cur = self._write(tmp_path, "cur.json", payload)
+        assert compare_mod.main([base, cur, "--update"]) == 0
+        assert json.loads(open(base).read()) == payload
+        assert compare_mod.main([base, cur]) == 0  # now the baseline
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_well_formed(self):
+        path = os.path.join(_ROOT, "benchmarks", "BENCH_dist.json")
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["bench"] == "dist_executor"
+        assert payload["small"] is True
+        workers = [pt["workers"] for pt in payload["points"]]
+        assert workers == sorted(set(workers))
+        for pt in payload["points"]:
+            assert pt["ntasks"] == sum(pt["tasks_per_rank"].values())
+            assert pt["speedup"] == pytest.approx(
+                pt["serial_s"] / pt["dist_s"], rel=0.02
+            )
+        # And it gates itself: a no-change comparison passes.
+        assert compare_mod.compare(payload, payload, 0.15) == []

@@ -38,6 +38,43 @@ class TestCli:
         out = capsys.readouterr().out
         assert "recommended:" in out
 
+    def test_monitor_renders_event_log(self, capsys, tmp_path):
+        from repro.dist import EventLog
+
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        log.emit("plan_accepted", nranks=2, heartbeat_interval=0.1,
+                 tasks_per_rank={"0": 6, "1": 4})
+        log.emit("heartbeat", rank=0, attempt=0, seq=0, tasks_done=0)
+        log.emit("heartbeat", rank=0, attempt=0, seq=1, tasks_done=3)
+        log.emit("rank_done", rank=0, attempt=0, tasks=6)
+        log.emit("done", ntasks=10, heartbeats=2)
+        log.close()
+        assert main(["monitor", path]) == 0
+        out = capsys.readouterr().out
+        assert "run complete" in out
+        assert "rank" in out and "state" in out  # the health table header
+        assert "done" in out
+
+    def test_monitor_live_run_not_marked_complete(self, capsys, tmp_path):
+        from repro.dist import EventLog
+
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        log.emit("plan_accepted", nranks=1, heartbeat_interval=0.1,
+                 tasks_per_rank={"0": 6})
+        log.emit("heartbeat", rank=0, attempt=0, seq=0, tasks_done=2)
+        log.close()
+        assert main(["monitor", path]) == 0
+        out = capsys.readouterr().out
+        assert "run complete" not in out
+        assert "2/6" in out  # live task progress from the heartbeat
+
+    def test_monitor_missing_file(self, capsys, tmp_path):
+        path = str(tmp_path / "nope.jsonl")
+        assert main(["monitor", path]) == 1
+        assert "waiting for" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,4 +1,4 @@
-"""Fault-spec parsing edge cases (``RANK:TASK[:kill|delay]`` strings)."""
+"""Fault-spec parsing edge cases (``RANK:TASK[:kill|delay|stall]`` strings)."""
 
 import pytest
 
@@ -14,6 +14,13 @@ class TestParseValid:
     def test_explicit_kinds(self):
         assert FaultPlan.parse("0:3:delay").for_rank(0).kind == "delay"
         assert FaultPlan.parse("0:3:kill").for_rank(0).kind == "kill"
+        assert FaultPlan.parse("0:3:stall").for_rank(0).kind == "stall"
+
+    def test_stall_helper(self):
+        plan = FaultPlan.stall(1, 4, once=False)
+        inj = plan.for_rank(1)
+        assert inj.kind == "stall"
+        assert not inj.once
 
     def test_multiple_specs(self):
         plan = FaultPlan.parse("0:1:kill,2:5:delay")
@@ -41,7 +48,7 @@ class TestParseMalformed:
             FaultPlan.parse(spec)
 
     def test_unknown_kind(self):
-        with pytest.raises(ValueError, match="expected kill or delay"):
+        with pytest.raises(ValueError, match="expected kill, delay or stall"):
             FaultPlan.parse("0:5:explode")
 
     def test_empty_entry(self):

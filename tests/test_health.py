@@ -1,0 +1,277 @@
+"""Unit tests for live run health (:mod:`repro.dist.health`).
+
+Everything here drives :class:`RunHealth` with a synthetic clock — no
+processes, no sleeping — so the stall window, startup grace, straggler
+median and the state machine are checked deterministically.  The event
+log and the ``replay_health`` reconstruction (what ``repro monitor``
+attaches through) round-trip through a real file.
+"""
+
+import json
+
+import pytest
+
+from repro.dist import (
+    EventLog,
+    HeartbeatMsg,
+    RunHealth,
+    read_events,
+    replay_health,
+)
+from repro.dist.health import STARTUP_GRACE_SECONDS
+
+
+def _health(**kwargs):
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("stall_after_beats", 4)
+    return RunHealth(**kwargs)
+
+
+def _beat(health, rank, seq, tasks_done, now, attempt=0):
+    return health.on_heartbeat(
+        HeartbeatMsg(rank=rank, attempt=attempt, seq=seq, tasks_done=tasks_done),
+        now=now,
+    )
+
+
+class TestStateMachine:
+    def test_scatter_then_beats_walk_states(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        assert h.ranks[0].state == "scattered"
+        assert _beat(h, 0, seq=0, tasks_done=0, now=0.05)
+        assert h.ranks[0].state == "up"
+        assert _beat(h, 0, seq=1, tasks_done=3, now=0.15)
+        assert h.ranks[0].state == "running"
+        assert h.ranks[0].progress == pytest.approx(0.3)
+        assert h.heartbeats == 2
+
+    def test_stale_attempt_beat_discarded(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=10, attempt=1, now=0.0)
+        assert not _beat(h, 0, seq=5, tasks_done=9, now=0.1, attempt=0)
+        assert h.ranks[0].beats == 0
+
+    def test_unknown_rank_beat_discarded(self):
+        h = _health()
+        assert not _beat(h, 7, seq=0, tasks_done=0, now=0.0)
+
+    def test_terminal_state_beat_discarded(self):
+        # Regression: a heartbeat drained *after* the rank's final report
+        # must not resurrect the rank to "up" (it briefly did, which also
+        # let a stale near-empty snapshot clobber the final metrics).
+        h = _health()
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        _beat(h, 0, seq=0, tasks_done=0, now=0.05)
+        h.mark(0, "done")
+        assert not _beat(h, 0, seq=1, tasks_done=10, now=0.1)
+        assert h.ranks[0].state == "done"
+        for terminal in ("reassigned", "failed"):
+            h.mark(0, terminal)
+            assert not _beat(h, 0, seq=2, tasks_done=10, now=0.2)
+
+    def test_rescatter_resets_attempt_but_keeps_stall_count(self):
+        h = _health()
+        h.on_scatter(1, tasks_total=8, attempt=0, now=0.0)
+        _beat(h, 1, seq=0, tasks_done=2, now=0.1)
+        h.mark(1, "stalled")
+        assert h.ranks[1].stalls == 1
+        h.on_scatter(1, tasks_total=8, attempt=1, now=1.0)
+        rh = h.ranks[1]
+        assert rh.attempt == 1
+        assert rh.state == "scattered"
+        assert rh.beats == 0 and rh.tasks_done == 0
+        assert rh.stalls == 1  # the run-level stall history survives
+
+    def test_progress_with_zero_planned_tasks(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=0, attempt=0, now=0.0)
+        assert h.ranks[0].progress == 0.0
+        h.mark(0, "done")
+        assert h.ranks[0].progress == 1.0
+
+    def test_rate_is_tasks_per_second_since_first_beat(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=100, attempt=0, now=0.0)
+        assert h.ranks[0].rate(5.0) == 0.0  # no beat yet
+        _beat(h, 0, seq=0, tasks_done=0, now=1.0)
+        _beat(h, 0, seq=1, tasks_done=20, now=3.0)
+        assert h.ranks[0].rate(3.0) == pytest.approx(10.0)
+        assert h.ranks[0].rate(1.0) == 0.0  # degenerate elapsed <= 0
+
+
+class TestStallDetection:
+    def test_silence_past_window_flags_rank(self):
+        h = _health()  # window = 4 * 0.1 = 0.4 s
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        _beat(h, 0, seq=0, tasks_done=1, now=0.1)
+        assert h.stalled_ranks(now=0.4, pending=[0]) == []
+        assert h.stalled_ranks(now=0.51, pending=[0]) == [0]
+
+    def test_startup_grace_widens_window_before_first_beat(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        # No beat yet: the plain window must NOT flag (spawn takes time)...
+        assert h.stalled_ranks(now=0.5, pending=[0]) == []
+        # ...but silence beyond window + grace does.
+        assert h.stalled_ranks(now=0.4 + STARTUP_GRACE_SECONDS + 0.01,
+                               pending=[0]) == [0]
+
+    def test_only_pending_ranks_checked(self):
+        h = _health()
+        for r in (0, 1):
+            h.on_scatter(r, tasks_total=10, attempt=0, now=0.0)
+        assert h.stalled_ranks(now=100.0, pending=[1]) == [1]
+
+    def test_terminal_ranks_never_stall(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        h.mark(0, "done")
+        assert h.stalled_ranks(now=100.0, pending=[0]) == []
+
+    def test_disabled_without_heartbeats(self):
+        h = RunHealth(heartbeat_interval=0.0)
+        assert not h.enabled
+        h.on_scatter(0, tasks_total=10, attempt=0, now=0.0)
+        assert h.stalled_ranks(now=1e9, pending=[0]) == []
+
+
+class TestStragglerDetection:
+    def _three_ranks(self, rates, now=10.0):
+        h = _health(straggler_fraction=0.25)
+        for r, tasks in enumerate(rates):
+            h.on_scatter(r, tasks_total=100, attempt=0, now=0.0)
+            _beat(h, r, seq=0, tasks_done=0, now=0.0)
+            _beat(h, r, seq=1, tasks_done=tasks, now=now)
+        return h
+
+    def test_slow_rank_flagged_against_median(self):
+        # Rates 10, 10, 1 tasks/s: median 10, threshold 2.5 -> rank 2 lags.
+        h = self._three_ranks([100, 100, 10])
+        assert h.straggler_ranks(now=10.0) == [2]
+
+    def test_needs_three_active_ranks(self):
+        h = self._three_ranks([100, 1])
+        assert h.straggler_ranks(now=10.0) == []
+
+    def test_done_ranks_excluded_from_median(self):
+        h = self._three_ranks([100, 100, 10])
+        h.mark(0, "done")
+        assert h.straggler_ranks(now=10.0) == []  # only 2 active remain
+
+    def test_zero_median_is_noise(self):
+        h = self._three_ranks([0, 0, 0])
+        assert h.straggler_ranks(now=10.0) == []
+
+
+class TestTable:
+    def test_renders_every_rank(self):
+        h = _health()
+        for r in (0, 1):
+            h.on_scatter(r, tasks_total=5, attempt=0, now=0.0)
+        _beat(h, 0, seq=0, tasks_done=2, now=0.2)
+        text = h.table(now=1.0)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two ranks
+        assert "rank" in lines[0] and "state" in lines[0]
+        assert "up" in lines[1] or "running" in lines[1]
+        assert "scattered" in lines[2]
+
+    def test_empty_health(self):
+        assert RunHealth().table() == "(no ranks)"
+
+
+class TestEventLog:
+    def test_none_path_disables(self):
+        log = EventLog(None)
+        log.emit("heartbeat", rank=0)
+        assert log.count == 0
+        log.close()
+
+    def test_emit_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        log.emit("plan_accepted", nranks=2)
+        log.emit("heartbeat", rank=0, seq=1)
+        log.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["plan_accepted", "heartbeat"]
+        assert events[1]["rank"] == 0
+        assert all("t" in e for e in events)
+
+    def test_flush_per_emit_visible_to_tailer(self, tmp_path):
+        # The monitor attaches while the run is live: every emit must be
+        # durable immediately, not buffered until close().
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        log.emit("plan_accepted", nranks=1)
+        assert len(read_events(path)) == 1
+        log.close()
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = str(tmp_path / "run-events.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"t": 1.0, "event": "heartbeat", "rank": 0}) + "\n")
+            fh.write('{"t": 2.0, "event": "hea')  # coordinator died mid-write
+        events = read_events(path)
+        assert len(events) == 1
+
+
+class TestReplay:
+    def _log(self, tmp_path, emits):
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        for event, fields in emits:
+            log.emit(event, **fields)
+        log.close()
+        return read_events(path)
+
+    def test_replay_rebuilds_rank_table(self, tmp_path):
+        events = self._log(tmp_path, [
+            ("plan_accepted", dict(nranks=2, heartbeat_interval=0.1,
+                                   tasks_per_rank={"0": 6, "1": 4})),
+            ("scatter", dict(rank=0, attempt=0, tasks_total=6)),
+            ("scatter", dict(rank=1, attempt=0, tasks_total=4)),
+            ("heartbeat", dict(rank=0, attempt=0, seq=0, tasks_done=0)),
+            ("heartbeat", dict(rank=0, attempt=0, seq=1, tasks_done=3)),
+            ("heartbeat", dict(rank=1, attempt=0, seq=0, tasks_done=0)),
+            ("rank_done", dict(rank=0, attempt=0, tasks=6)),
+        ])
+        health = replay_health(events)
+        assert health.heartbeat_interval == 0.1
+        assert health.ranks[0].state == "done"
+        assert health.ranks[0].tasks_done == 6
+        assert health.ranks[1].state == "up"
+        assert health.ranks[1].tasks_total == 4
+        assert health.heartbeats == 3
+
+    def test_replay_stall_retry_reassign_excursion(self, tmp_path):
+        events = self._log(tmp_path, [
+            ("plan_accepted", dict(nranks=1, heartbeat_interval=0.1,
+                                   tasks_per_rank={"1": 8})),
+            ("scatter", dict(rank=1, attempt=0, tasks_total=8)),
+            ("heartbeat", dict(rank=1, attempt=0, seq=0, tasks_done=2)),
+            ("stall", dict(rank=1, attempt=0, silent_seconds=0.6)),
+            ("retry", dict(rank=1, attempt=0, reason="stalled")),
+            ("scatter", dict(rank=1, attempt=1, tasks_total=8)),
+            ("stall", dict(rank=1, attempt=1, silent_seconds=0.6)),
+            ("reassign", dict(rank=1, attempt=2)),
+        ])
+        health = replay_health(events)
+        rh = health.ranks[1]
+        assert rh.state == "reassigned"
+        assert rh.stalls == 2
+        assert rh.tasks_total == 8  # carried across the rescatter
+        # And the reconstructed view renders (the monitor's whole job).
+        assert "reassigned" in health.table(now=events[-1]["t"])
+
+    def test_replay_tolerates_unknown_events(self, tmp_path):
+        events = self._log(tmp_path, [
+            ("plan_accepted", dict(nranks=1, heartbeat_interval=0.1,
+                                   tasks_per_rank={"0": 2})),
+            ("straggler", dict(rank=0)),
+            ("some_future_event", dict(rank=0, detail="ignored")),
+            ("done", dict(ntasks=2)),
+        ])
+        health = replay_health(events)
+        assert health.ranks[0].state == "straggler"

@@ -233,7 +233,8 @@ class TestMergedDistributedTrace:
         assert all(0.0 < u <= 1.0 for u in util.values())
         waits = report.queue_wait_seconds()
         assert all(w >= 0.0 for w in waits.values())
-        assert report.span_dropped == 0
+        assert report.spans_dropped == 0
+        assert report.span_dropped == 0  # deprecated alias stays readable
         assert report.shm_bytes > 0
         text = report.observability_summary()
         assert "busy fraction" in text and "B service" in text
@@ -263,6 +264,33 @@ class TestMergedDistributedTrace:
         c_serial, _ = psgemm_numeric(a, b, summit(2), p=2)
         assert np.array_equal(c_serial.to_dense(), c.to_dense())
         assert all(e.duration >= 0.0 for e in report.trace.events)
+
+
+class TestDegenerateTraces:
+    """Zero-span and zero-capacity traces degrade to zeros, not crashes."""
+
+    def test_empty_trace_queries_return_zeros(self):
+        trace = Trace()
+        assert trace.makespan == 0.0
+        assert trace.utilization() == {}
+        assert trace.busy_time("gpu.0.0.comp") == 0.0
+        assert trace.to_chrome_trace() == []
+
+    def test_zero_capacity_entry_degrades_to_unnormalized(self):
+        # A degenerate machine spec (0 GPUs on a resource) must not turn
+        # utilization/busy_time into a ZeroDivisionError.
+        trace = Trace(capacities={"gpu.0.0.comp": 0})
+        trace.add("t", "gpu.0.0.comp", 0.0, 2.0)
+        assert trace.busy_time("gpu.0.0.comp") == 2.0
+        assert trace.utilization()["gpu.0.0.comp"] == 1.0
+        assert trace.busy_time("gpu.0.0.comp", capacity=-3) == 2.0
+        assert trace.utilization({"gpu.0.0.comp": -1})["gpu.0.0.comp"] == 1.0
+
+    def test_zero_duration_spans_are_fine(self):
+        trace = Trace()
+        trace.add("t", "r", 1.0, 1.0)
+        assert trace.makespan == 1.0
+        assert trace.utilization()["r"] == 0.0
 
 
 class TestWallClockLint:
