@@ -1,11 +1,11 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist trace-smoke bench-smoke analyze bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke resume-smoke bench-smoke analyze bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
-test: analyze
+test: analyze resume-smoke
 	pytest tests/
 
 # Static analysis gate: the AST concurrency lint over the source tree, then
@@ -16,9 +16,11 @@ analyze:
 	PYTHONPATH=src python -m repro analyze
 
 # The full multi-process executor suite (fault injection, 4-worker grids,
-# CLI round-trips); budgeted at 120 s so a hung worker can never wedge CI.
+# checkpoint/resume, CLI round-trips); budgeted so a hung worker can never
+# wedge CI.
 test-dist:
 	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
+	PYTHONPATH=src timeout 300 pytest tests/test_checkpoint.py -m "" -q
 
 # Benchmark regression gate: run the small dist-executor sweep, write
 # BENCH_dist.json, and compare against the committed baseline (exact task
@@ -28,6 +30,17 @@ test-dist:
 bench-smoke:
 	PYTHONPATH=src timeout 300 python benchmarks/bench_dist_executor.py --small --json /tmp/BENCH_dist.json
 	PYTHONPATH=src python benchmarks/compare.py benchmarks/BENCH_dist.json /tmp/BENCH_dist.json
+
+# Checkpoint/resume smoke test: abort a 2-worker run mid-flight (exit 3 =
+# resumable), resume it from the journal, and require that the resumed run
+# both restored journaled blocks (--resume) and bit-matched the serial
+# oracle.  Finishes with the persistent store's cumulative stats.
+resume-smoke:
+	rm -rf /tmp/repro-ckpt
+	PYTHONPATH=src timeout 120 python -m repro selftest --procs 2 --checkpoint /tmp/repro-ckpt --inject-fault 1:6:abort; \
+	  test $$? -eq 3 || { echo "expected resumable exit code 3"; exit 1; }
+	PYTHONPATH=src timeout 120 python -m repro selftest --procs 2 --checkpoint /tmp/repro-ckpt --resume
+	PYTHONPATH=src python -m repro store stats /tmp/repro-ckpt/store
 
 # Observability smoke test: trace a tiny 2-worker run end to end, then
 # prove the artifact is a loadable Chrome trace (non-empty "X" events).

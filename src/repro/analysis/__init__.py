@@ -5,7 +5,9 @@ Three layers reporting through one uniform :class:`Finding` vocabulary
 
 * :mod:`~repro.analysis.plan_checks` — the plan verifier: coverage,
   memory safety, and comm-consistency proofs over an
-  :class:`~repro.core.plan.ExecutionPlan` (rules ``P1xx``);
+  :class:`~repro.core.plan.ExecutionPlan` (rules ``P1xx``), joined by
+  :mod:`~repro.analysis.store_checks` — checkpoint/plan compatibility
+  and tile-store capacity pre-flight (``P121``/``P122``);
 * :mod:`~repro.analysis.dag_checks` — deadlock (cycle) and unordered
   same-tile access detection on expanded task graphs via a
   happens-before closure (rules ``D2xx``);
@@ -34,6 +36,11 @@ from repro.analysis.plan_checks import (
     verify_plan,
 )
 from repro.analysis.rules import Rule, all_rules, get_rule
+from repro.analysis.store_checks import (
+    check_checkpoint_compat,
+    check_store_capacity,
+    verify_store_setup,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -44,10 +51,13 @@ __all__ = [
     "Severity",
     "all_rules",
     "assert_plan_valid",
+    "check_checkpoint_compat",
     "check_conflicts",
     "check_engine",
+    "check_store_capacity",
     "check_task_graph",
     "get_rule",
+    "verify_store_setup",
     "lint_paths",
     "lint_source",
     "plan_tile_accesses",

@@ -34,6 +34,15 @@ linter does not know about:
   workers with ``terminate``/``join``, and a lingering non-daemon thread
   wedges the process — exactly the hang the stall detector exists to
   kill, but self-inflicted.
+* **L308** — ``open(...)`` or ``mmap.mmap(...)`` inside the ``dist`` or
+  ``store`` trees outside a ``with`` statement, a cleanup ``try``
+  (``.close()`` in ``finally``/``except``), or an immediate ``return``
+  hand-off.  Workers are killed and restarted by design (fault
+  injection, crash/resume); a descriptor opened without a guaranteed
+  close path leaks across retries and — on the writeback path — can
+  leave an unflushed journal or store object behind a crash.  A handle
+  deliberately owned long-term by an object that closes it carries a
+  ``# repro: noqa[L308]``.
 
 Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
 ``noqa[all]``) to the offending line.
@@ -69,6 +78,12 @@ def _in_dist_tree(filename: str) -> bool:
     """Whether a path lies inside the distributed executor package."""
     parts = os.path.normpath(filename).replace("\\", "/").split("/")
     return "dist" in parts
+
+
+def _in_store_tree(filename: str) -> bool:
+    """Whether a path lies inside the persistent tile-store package."""
+    parts = os.path.normpath(filename).replace("\\", "/").split("/")
+    return "store" in parts
 
 
 def _noqa_rules(source: str) -> dict[int, set[str]]:
@@ -124,11 +139,13 @@ class _Walker(ast.NodeVisitor):
     def __init__(self, filename: str):
         self.filename = filename
         self._in_dist = _in_dist_tree(filename)
+        self._lint_io = self._in_dist or _in_store_tree(filename)
         self.findings: list[Finding] = []
         # Stack of enclosing Try nodes that have a cleanup call
         # (.close()/.unlink()) in a finally or except block.
         self._cleanup_trys = 0
         self._in_return = 0
+        self._in_with_item = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -180,6 +197,20 @@ class _Walker(ast.NodeVisitor):
         self._in_return += 1
         self.generic_visit(node)
         self._in_return -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        # Context-manager expressions are the sanctioned way to open a
+        # resource — handles created there are exempt from L308.
+        for item in node.items:
+            self._in_with_item += 1
+            self.visit(item.context_expr)
+            self._in_with_item -= 1
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncWith = visit_With
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
@@ -263,6 +294,31 @@ class _Walker(ast.NodeVisitor):
                     "threading.Thread in repro.dist without daemon=True: a "
                     "non-daemon helper thread blocks interpreter exit and "
                     "wedges the coordinator's terminate/join reaping",
+                )
+
+        if self._lint_io:
+            is_open = isinstance(node.func, ast.Name) and node.func.id == "open"
+            is_mmap = (
+                chain
+                and chain[-1] == "mmap"
+                and (len(chain) == 1 or chain[0] == "mmap")
+            )
+            if (
+                (is_open or is_mmap)
+                and not self._in_with_item
+                and not self._cleanup_trys
+                and not self._in_return
+            ):
+                what = "mmap.mmap" if is_mmap else "open"
+                self._emit(
+                    "L308",
+                    node,
+                    f"'{what}(...)' in the dist/store tree outside a 'with' "
+                    f"statement, a cleanup try (close in finally/except), or "
+                    f"an immediate return: a kill/crash between open and "
+                    f"close leaks the descriptor across worker retries; "
+                    f"suppress a deliberately long-lived handle with "
+                    f"# repro: noqa[L308]",
                 )
 
         if (

@@ -2,7 +2,8 @@
 
 Rule ids are stable, grep-able, and grouped by layer:
 
-* ``P1xx`` — plan verifier (:mod:`repro.analysis.plan_checks`);
+* ``P1xx`` — plan verifier (:mod:`repro.analysis.plan_checks`) and
+  store/checkpoint pre-flight (:mod:`repro.analysis.store_checks`);
 * ``D2xx`` — task-graph checks (:mod:`repro.analysis.dag_checks`);
 * ``L3xx`` — AST concurrency lint (:mod:`repro.analysis.lint`).
 
@@ -98,6 +99,17 @@ register(Rule("P114", "plan-b-tile-over-budget", E,
 register(Rule("P120", "plan-comm-mismatch", E,
               "a process's stored communication volumes differ from the "
               "volumes implied by the plan (inspector aggregate drift)"))
+register(Rule("P121", "checkpoint-plan-mismatch", E,
+              "a checkpoint directory's coordinator snapshot was written "
+              "for a different plan (or by a newer snapshot format, or a "
+              "different rank count); resuming would mix incompatible "
+              "per-rank journals — use a fresh checkpoint directory"))
+register(Rule("P122", "store-capacity", W,
+              "the persistent tile store cannot hold what the run writes: "
+              "the GC budget is smaller than the largest single B tile "
+              "(the persistent tier could never hit), or the run's "
+              "working set exceeds the free space of the store's "
+              "filesystem"))
 
 # ---- D2xx: task-graph checks ----------------------------------------------
 
@@ -141,3 +153,11 @@ register(Rule("L307", "non-daemon-thread-in-dist", W,
               "daemon=True: a worker whose helper thread (heartbeat, "
               "prefetch) is non-daemon cannot be reaped by the "
               "coordinator's terminate/join and wedges process exit"))
+register(Rule("L308", "unmanaged-file-handle", W,
+              "open()/mmap.mmap() in the dist or store trees outside a "
+              "'with' statement, a cleanup try (close in finally/except), "
+              "or an immediate return: workers are killed and restarted by "
+              "design, and an unguarded descriptor leaks across retries "
+              "(and can leave an unflushed journal/store object behind a "
+              "crash); a deliberately long-lived handle is suppressed with "
+              "# repro: noqa[L308]"))

@@ -15,6 +15,8 @@ Commands mirror the paper's evaluation artifacts:
 * ``metrics``    — run a small distributed job and print its merged
   metrics in Prometheus text exposition format;
 * ``analyze``    — static plan verifier + task-graph checks (CI gate);
+* ``store``      — inspect (``stats``) or garbage-collect (``gc``) a
+  persistent tile store;
 * ``lint``       — AST concurrency lint over the source tree (CI gate).
 """
 
@@ -118,7 +120,7 @@ def _cmd_selftest(args) -> int:
         # process each), crosschecked bit-for-bit against the serial
         # executor and against the dense reference.
         from repro.core import psgemm_distributed
-        from repro.dist import FaultPlan
+        from repro.dist import DistExecutionError, FaultPlan
 
         fault_plan = (
             FaultPlan.parse(args.inject_fault, nranks=args.procs)
@@ -129,8 +131,28 @@ def _cmd_selftest(args) -> int:
         a = random_block_sparse(rows, inner, 0.5, seed=args.seed + 2)
         b = random_block_sparse(inner, inner, 0.5, seed=args.seed + 3)
         machine = summit(args.procs)
-        c_serial, _ = psgemm_numeric(a, b, machine, p=args.procs)
         dist_kwargs = {}
+        persist = getattr(args, "checkpoint", None) or getattr(args, "store_dir", None)
+        if persist:
+            # The persistent tiers only engage for on-demand B: a concrete
+            # B travels by shared memory, bypassing the store.  Swap B for
+            # a generated collection over the same sparse shape — the
+            # serial oracle uses the identical collection, so bit-parity
+            # still holds.
+            from repro.runtime.data import GeneratedCollection
+
+            b_shape = b.sparse_shape()
+            b = GeneratedCollection(b_shape, seed=args.seed + 3)
+            dist_kwargs["b_shape"] = b_shape
+            c_serial, _ = psgemm_numeric(
+                a, b, machine, p=args.procs, b_shape=b_shape
+            )
+        else:
+            c_serial, _ = psgemm_numeric(a, b, machine, p=args.procs)
+        if getattr(args, "checkpoint", None):
+            dist_kwargs["checkpoint_dir"] = args.checkpoint
+        if getattr(args, "store_dir", None):
+            dist_kwargs["store_dir"] = args.store_dir
         if getattr(args, "events", None):
             dist_kwargs["events_path"] = args.events
         if fault_plan is not None and any(
@@ -139,13 +161,42 @@ def _cmd_selftest(args) -> int:
             # Tighten the heartbeat cadence so an injected stall is caught
             # in about a second instead of the production-default window.
             dist_kwargs.update(heartbeat_interval=0.1, stall_after_beats=5)
-        c_dist, report = psgemm_distributed(
-            a, b, machine, p=args.procs, fault_plan=fault_plan, **dist_kwargs
-        )
+        try:
+            c_dist, report = psgemm_distributed(
+                a, b, machine, p=args.procs, fault_plan=fault_plan, **dist_kwargs
+            )
+        except DistExecutionError as e:
+            aborted = fault_plan is not None and any(
+                inj.kind == "abort" for inj in fault_plan.injections
+            )
+            if aborted and getattr(args, "checkpoint", None):
+                print(f"run aborted: {e}")
+                print(f"resumable: re-run with --resume --checkpoint "
+                      f"{args.checkpoint} (journaled blocks will be skipped)")
+                return 3
+            raise
         exact = np.array_equal(c_dist.to_dense(), c_serial.to_dense())
-        ok = exact and np.allclose(c_dist.to_dense(), a.to_dense() @ b.to_dense())
         print(f"distributed executor ran {report.summary()}")
         print(f"per-rank tasks: {dict(sorted(report.stats.per_proc_tasks.items()))}")
+        if persist:
+            # Generated B has no dense reference to compare against; the
+            # bit-exact serial oracle (same collection) is the check.
+            ok = exact
+            print(f"persistent tiers: restored {report.blocks_restored} "
+                  f"block(s), skipped {report.tasks_skipped} task(s); "
+                  f"store {report.store_hits} hit(s) / "
+                  f"{report.store_misses} miss(es) / {report.store_puts} put(s)")
+            if getattr(args, "resume", False):
+                # A resume that restored nothing recomputed everything: the
+                # journal (or its tiles) went missing, which is exactly
+                # what this flag exists to catch.
+                resumed = report.blocks_restored > 0
+                print(f"resume restored journaled work: {resumed}")
+                ok = ok and resumed
+            print(f"matches serial executor bit-for-bit: {exact}; "
+                  f"overall: {ok}")
+            return 0 if ok else 1
+        ok = exact and np.allclose(c_dist.to_dense(), a.to_dense() @ b.to_dense())
         print(f"matches serial executor bit-for-bit: {exact}; "
               f"matches dense reference: {ok}")
         return 0 if ok else 1
@@ -253,6 +304,36 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from repro.store import TileStore, read_store_stats
+
+    if args.store_command == "stats":
+        s = read_store_stats(args.root)
+        print(f"tile store {args.root}")
+        print(f"  objects:       {s.objects} ({s.disk_bytes} B on disk)")
+        print(f"  hits:          {s.hits}")
+        print(f"  misses:        {s.misses}")
+        print(f"  hit rate:      {s.hit_rate:.1%}")
+        print(f"  puts:          {s.puts}")
+        print(f"  evictions:     {s.evictions}")
+        print(f"  corrupt:       {s.corrupt}")
+        print(f"  bytes written: {s.bytes_written}")
+        print(f"  bytes read:    {s.bytes_read}")
+        return 0
+
+    # gc
+    store = TileStore(args.root)
+    try:
+        evicted, freed = store.gc(args.budget)
+        left = store.stats()
+    finally:
+        store.close()
+    print(f"evicted {evicted} object(s), freed {freed} B; "
+          f"{left.objects} object(s), {left.disk_bytes} B remain "
+          f"(budget {args.budget} B)")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import check_task_graph, verify_plan
     from repro.core import psgemm_plan
@@ -269,6 +350,15 @@ def _cmd_analyze(args) -> int:
 
     report = verify_plan(plan)
     report.extend(check_task_graph(plan, machine))
+    if args.checkpoint or args.store_dir:
+        from repro.analysis import verify_store_setup
+
+        report.extend(verify_store_setup(
+            plan,
+            checkpoint_dir=args.checkpoint,
+            store_dir=args.store_dir,
+            store_budget_bytes=args.store_budget,
+        ))
     print(f"analyzed plan: {plan.grid.nprocs} rank(s), "
           f"{sum(len(pp.blocks) for pp in plan.procs)} block(s)")
     print(report.render())
@@ -337,15 +427,29 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--procs", type=int, metavar="N",
                     help="run the plan across N real worker processes and "
                          "crosscheck bit-for-bit against the serial executor")
-    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay|stall]",
+    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay|stall|abort]",
                     help="with --procs: sabotage worker RANK after TASK GEMM "
                          "tasks (stall hangs it silently until the missed-"
-                         "heartbeat detector fires) and verify the "
-                         "retry/reassign recovery still produces the exact "
-                         "result")
+                         "heartbeat detector fires; abort tears the run down "
+                         "unrecoverably — exit 3 when resumable via "
+                         "--checkpoint) and verify the retry/reassign "
+                         "recovery still produces the exact result")
     st.add_argument("--events", metavar="PATH",
                     help="with --procs: append the run's life-cycle events "
                          "(heartbeats, stalls, retries) to PATH as JSONL")
+    st.add_argument("--checkpoint", metavar="DIR",
+                    help="with --procs: journal completed blocks to DIR so a "
+                         "killed run resumes bit-for-bit (switches B to an "
+                         "on-demand generated collection, the tier the "
+                         "persistent store backs)")
+    st.add_argument("--resume", action="store_true",
+                    help="with --checkpoint: require that the run restored "
+                         "at least one journaled block (fail if it had to "
+                         "recompute everything)")
+    st.add_argument("--store-dir", metavar="DIR",
+                    help="with --procs: persist generated B tiles to a "
+                         "content-addressed store at DIR (second run hits "
+                         "instead of regenerating)")
     st.set_defaults(func=_cmd_selftest)
 
     tr = sub.add_parser(
@@ -400,7 +504,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="grid rows (ranks) for the analyzed plan")
     an.add_argument("--nodes", type=int, default=3,
                     help="machine size (Summit-like nodes)")
+    an.add_argument("--checkpoint", metavar="DIR",
+                    help="also pre-flight a checkpoint directory against the "
+                         "analyzed plan (P121) and its store capacity (P122)")
+    an.add_argument("--store-dir", metavar="DIR",
+                    help="also pre-flight the tile store at DIR (P122)")
+    an.add_argument("--store-budget", type=int, metavar="BYTES",
+                    help="GC budget assumed for the store pre-flight")
     an.set_defaults(func=_cmd_analyze)
+
+    so = sub.add_parser(
+        "store",
+        help="inspect or garbage-collect a persistent tile store",
+    )
+    so_sub = so.add_subparsers(dest="store_command", required=True)
+    so_stats = so_sub.add_parser(
+        "stats", help="cumulative hit/miss/put counters and on-disk totals"
+    )
+    so_stats.add_argument("root", help="store directory (e.g. ckpt/store)")
+    so_stats.set_defaults(func=_cmd_store)
+    so_gc = so_sub.add_parser(
+        "gc", help="evict least-recently-used objects down to a byte budget"
+    )
+    so_gc.add_argument("root", help="store directory (e.g. ckpt/store)")
+    so_gc.add_argument("--budget", type=int, required=True, metavar="BYTES",
+                       help="target on-disk size after eviction")
+    so_gc.set_defaults(func=_cmd_store)
 
     li = sub.add_parser("lint", help="AST concurrency lint (nonzero exit on findings)")
     li.add_argument("paths", nargs="*",

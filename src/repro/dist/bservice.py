@@ -17,6 +17,15 @@ rank.  Two backings exist:
   distinct-tile pulls are still counted so stats match the serial
   :class:`~repro.runtime.data.MatrixSource` accounting).
 
+The generated backing optionally gains a **persistent second tier**: a
+:class:`~repro.store.TileStore` consulted on every LRU miss before the
+generator runs.  Tiles land in the store keyed by
+``(b:<operand fingerprint>, (k, j))``, so runs over identical operands —
+and ranks sharing a filesystem — reuse each other's generation work across
+process lifetimes.  Store reads count as instantiations (the tile *was*
+materialized on the rank), keeping both the once-per-rank invariant and
+the serial-vs-distributed stats parity intact.
+
 The executor evicts a block's tiles at the end of the block's life-cycle,
 and the plan guarantees each tile is needed by exactly one block per rank,
 so the LRU never has to evict a tile that will be needed again: the
@@ -73,7 +82,8 @@ class BService:
     """
 
     def __init__(self, collection, budget_bytes: int, recorder=None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 store=None, store_ns: str = ""):
         validate_b_budget(collection.shape, budget_bytes)
         self._col = collection
         self._mem = GpuMemory(budget_bytes)
@@ -81,6 +91,9 @@ class BService:
         self.instantiations: Counter = Counter()
         self.hits = 0
         self.lru_evictions = 0
+        self.store_hits = 0
+        self._store = store
+        self._store_ns = store_ns
         self._rec = recorder
         registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
         self._m_hits = registry.counter(
@@ -113,9 +126,27 @@ class BService:
         rec = self._rec
         timed = rec is not None and rec.enabled
         t_start = rec.now() if timed else 0.0
-        data = self._col.generate_tile(k, j)
-        if timed:
-            rec.record(f"gen.{k}.{j}", f"cpu.{proc}", t_start, rec.now())
+        # The persistent tier: a tile generated by any earlier run (or any
+        # other rank on this filesystem) is read back instead of
+        # regenerated.  Content addressing folds the operand fingerprint
+        # into the namespace, so a stored tile is bit-identical to what
+        # ``generate_tile`` would produce — the numeric result cannot
+        # depend on which tier served it.
+        data = None
+        if self._store is not None:
+            data = self._store.get(self._store_ns, key)
+            if data is not None:
+                self.store_hits += 1
+        if data is None:
+            data = self._col.generate_tile(k, j)
+            if timed:
+                rec.record(f"gen.{k}.{j}", f"cpu.{proc}", t_start, rec.now())
+            if self._store is not None:
+                self._store.put(self._store_ns, key, data)
+        # Either way the tile was materialized on this rank: both tiers
+        # count toward the paper's once-per-rank instantiation invariant
+        # and toward ``b_tiles_generated`` (keeping distributed stats
+        # bit-comparable with the serial executor's).
         self.instantiations[key] += 1
         self._m_misses.inc()
         # Make room: shed least-recently-used tiles until the budget fits.

@@ -57,12 +57,29 @@ from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Empty
 from repro.dist.faults import FaultPlan
 from repro.dist.health import EventLog, RunHealth
 from repro.dist.tile_store import TileArena
-from repro.dist.worker import ScatterMsg, WorkerReport, modeled_a_link_bytes, worker_main
+from repro.dist.worker import (
+    ABORT_EXIT_CODE,
+    ScatterMsg,
+    WorkerReport,
+    checkpoint_hooks,
+    modeled_a_link_bytes,
+    worker_main,
+)
 from repro.runtime.data import GeneratedCollection, MatrixSource
 from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.numeric import NumericStats, execute_proc_plan
 from repro.runtime.tracing import SpanRecorder, Trace
 from repro.sparse.matrix import BlockSparseMatrix
+from repro.store import (
+    TileStore,
+    WritebackJournal,
+    b_fingerprint,
+    plan_fingerprint,
+    read_snapshot,
+    run_fingerprint,
+    validated_completed_blocks,
+    write_snapshot,
+)
 from repro.util.units import fmt_bytes, fmt_time
 from repro.util.validation import require
 
@@ -96,6 +113,14 @@ class DistReport:
     health: RunHealth | None = None
     events_path: str | None = None
     stalled: list[int] = field(default_factory=list)
+    checkpoint_dir: str | None = None
+    run_hash: str = ""
+    plan_hash: str = ""
+    blocks_restored: int = 0
+    tasks_skipped: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_puts: int = 0
 
     @property
     def span_dropped(self) -> int:
@@ -110,6 +135,11 @@ class DistReport:
             + (f", retried {sorted(retried)}" if retried else "")
             + (f", stalled {sorted(set(self.stalled))}" if self.stalled else "")
             + (f", reassigned {sorted(self.reassigned)}" if self.reassigned else "")
+            + (
+                f", resumed {self.blocks_restored} block(s) "
+                f"({self.tasks_skipped} tasks skipped)"
+                if self.blocks_restored else ""
+            )
         )
 
     # -- derived observability metrics ---------------------------------------
@@ -171,6 +201,16 @@ class DistReport:
             f"shared memory: {len(self.segments)} segments, "
             f"{fmt_bytes(self.shm_bytes)} of tiles"
         )
+        if self.checkpoint_dir is not None or self.store_puts or self.store_hits:
+            lines.append(
+                f"tile store: {self.store_hits} hits, {self.store_misses} "
+                f"misses, {self.store_puts} puts"
+                + (
+                    f"; checkpoint: {self.blocks_restored} block(s) restored, "
+                    f"{self.tasks_skipped} tasks skipped"
+                    if self.checkpoint_dir is not None else ""
+                )
+            )
         if self.health is not None and self.health.heartbeats:
             lines.append(
                 f"telemetry: {self.health.heartbeats} heartbeats "
@@ -209,6 +249,10 @@ def execute_plan_distributed(
     straggler_fraction: float = 0.25,
     metrics: bool = True,
     events_path: str | None = None,
+    checkpoint_dir: str | None = None,
+    store_dir: str | None = None,
+    store_budget_bytes: int | None = None,
+    snapshot_interval: float = 1.0,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -235,6 +279,22 @@ def execute_plan_distributed(
     ``events_path`` appends the run's life-cycle (``plan_accepted``,
     ``worker_up``, ``heartbeat``, ``stall``, ``reassign``, ``done``, ...)
     as JSONL — the file ``repro monitor`` tails.
+
+    Persistence: ``store_dir`` roots a :class:`~repro.store.TileStore`
+    that backs every rank's B service as a second cache tier (tiles
+    generated once are reused across runs and ranks).  ``checkpoint_dir``
+    additionally turns on crash-consistent checkpointing: each rank
+    journals every completed block (C tiles to the store first, then an
+    fsynced journal line), the coordinator snapshots run identity and
+    per-rank progress every ``snapshot_interval`` seconds, and *every*
+    scatter — first attempt, retry, or a whole fresh run over the same
+    directory — first restores the journaled blocks instead of
+    recomputing them.  A run killed at any instant (including via the
+    ``abort`` fault, which fails the whole job unrecoverably) therefore
+    resumes bit-for-bit identical to an uninterrupted run.  A checkpoint
+    directory whose snapshot records a *different plan* is refused up
+    front (the P121 analysis rule makes the same check statically);
+    ``store_budget_bytes`` bounds the store on disk via LRU GC.
     """
     if verify_plan:
         from repro.analysis import assert_plan_valid  # late import: avoid cycle
@@ -255,6 +315,28 @@ def execute_plan_distributed(
                 f"fault injection targets rank {inj.rank}, but the plan has "
                 f"only {plan.grid.nprocs} rank(s)",
             )
+
+    # ---- persistence / checkpoint identity --------------------------------
+    persist = checkpoint_dir is not None or store_dir is not None
+    plan_hash = b_hash = run_hash = ""
+    coord_store: TileStore | None = None
+    if persist:
+        plan_hash = plan_fingerprint(plan)
+        b_hash = b_fingerprint(b)
+        run_hash = run_fingerprint(plan_hash, b_hash, alpha)
+        store_root = store_dir or f"{checkpoint_dir}/store"
+        if checkpoint_dir is not None:
+            snap = read_snapshot(checkpoint_dir)
+            if snap is not None and snap.get("plan") not in (None, plan_hash):
+                raise DistExecutionError(
+                    f"checkpoint directory {checkpoint_dir!r} belongs to a "
+                    f"different plan (snapshot plan hash "
+                    f"{str(snap.get('plan'))[:12]}..., this plan "
+                    f"{plan_hash[:12]}...); resume with the original "
+                    f"operands/grid or point checkpoint_dir at a fresh "
+                    f"directory"
+                )
+        coord_store = TileStore(store_root, budget_bytes=store_budget_bytes)
 
     ctx = mp.get_context(start_method or _start_method())
     nranks = plan.grid.nprocs
@@ -329,11 +411,37 @@ def execute_plan_distributed(
         #: update it live, the rank's final report supersedes them.
         last_metrics: dict[int, MetricsSnapshot] = {}
 
+        def completed_for(rank: int) -> tuple:
+            """Journaled-and-validated blocks this scatter may skip.
+
+            Re-read from disk on *every* scatter: a fresh run resumes a
+            prior run's journal, and a retried rank resumes whatever its
+            killed predecessor managed to journal this run.
+            """
+            if checkpoint_dir is None:
+                return ()
+            done = validated_completed_blocks(
+                checkpoint_dir, rank, run_hash, coord_store
+            )
+            return tuple(
+                (g, bi, rec_.tiles) for (g, bi), rec_ in sorted(done.items())
+            )
+
         def scatter(rank: int, attempt: int) -> None:
             c_arenas[rank] = make_c_arena(rank, attempt)
             inj = fault_plan.for_rank(rank) if fault_plan is not None else None
             if inj is not None and not inj.armed(attempt):
                 inj = None
+            completed = completed_for(rank)
+            if completed:
+                events.emit(
+                    "resume", rank=rank, attempt=attempt,
+                    blocks=len(completed),
+                    tasks_skipped=sum(
+                        plan.procs[rank].gpu_blocks(g)[bi].ntasks
+                        for g, bi, _ in completed
+                    ),
+                )
             msg = ScatterMsg(
                 proc=plan.procs[rank],
                 grid=plan.grid,
@@ -351,6 +459,12 @@ def execute_plan_distributed(
                 max_spans=trace_max_spans,
                 heartbeat_interval=heartbeat_interval,
                 metrics=metrics,
+                store_dir=store_dir,
+                store_budget=store_budget_bytes,
+                b_hash=b_hash,
+                ckpt_dir=checkpoint_dir,
+                run_hash=run_hash,
+                completed=completed,
             )
             t_send = clock()
             coord.send(rank, msg)
@@ -390,20 +504,39 @@ def execute_plan_distributed(
                 b_local = ArenaBSource(b_arena)
             else:
                 b_local = BService(
-                    b.empty_clone(), budget_bytes=plan.gpu_memory_bytes, recorder=rec
+                    b.empty_clone(), budget_bytes=plan.gpu_memory_bytes, recorder=rec,
+                    store=coord_store, store_ns=f"b:{b_hash}",
                 )
-            produced, stats = execute_proc_plan(
-                plan.procs[rank],
-                a.get_tile,
-                b_local,
-                gpus_per_proc=plan.grid.gpus_per_proc,
-                gpu_memory_bytes=plan.gpu_memory_bytes,
-                b_csr=plan.b_shape.csr,
-                tau=plan.options.screen_threshold,
-                alpha=alpha,
-                on_event=rec.record if rec.enabled else None,
-                clock=clock,
-            )
+            restore_block = on_block = None
+            journal = None
+            ckpt_counters = {"blocks_restored": 0, "tasks_skipped": 0}
+            if checkpoint_dir is not None:
+                # The inline worker journals and restores exactly like a
+                # real rank, so a reassigned rank's progress survives too.
+                journal = WritebackJournal(checkpoint_dir, rank)
+                restore_block, on_block, ckpt_counters = checkpoint_hooks(
+                    coord_store, journal, run_hash, rank,
+                    {(g, bi): tiles for g, bi, tiles in completed_for(rank)},
+                    registry,
+                )
+            try:
+                produced, stats = execute_proc_plan(
+                    plan.procs[rank],
+                    a.get_tile,
+                    b_local,
+                    gpus_per_proc=plan.grid.gpus_per_proc,
+                    gpu_memory_bytes=plan.gpu_memory_bytes,
+                    b_csr=plan.b_shape.csr,
+                    tau=plan.options.screen_threshold,
+                    alpha=alpha,
+                    on_event=rec.record if rec.enabled else None,
+                    clock=clock,
+                    restore_block=restore_block,
+                    on_block=on_block,
+                )
+            finally:
+                if journal is not None:
+                    journal.close()
             stats.b_tiles_generated = b_local.generated_tiles()
             local_results[rank] = produced
             reports[rank] = WorkerReport(
@@ -416,6 +549,8 @@ def execute_plan_distributed(
                 b_max_instantiations=b_local.max_instantiations(),
                 b_hits=b_local.hits,
                 b_lru_evictions=b_local.lru_evictions,
+                blocks_restored=ckpt_counters["blocks_restored"],
+                tasks_skipped=ckpt_counters["tasks_skipped"],
             )
             reassigned.append(rank)
             m_reassigned.inc()
@@ -480,6 +615,19 @@ def execute_plan_distributed(
             now = time.monotonic()
             for rank in sorted(pending):
                 proc = workers.get(rank)
+                if proc is not None and proc.exitcode == ABORT_EXIT_CODE:
+                    # The abort fault: the whole job is lost, not one rank —
+                    # no retry, no reassignment.  Whatever the journals
+                    # captured is the resume point.
+                    events.emit("abort", rank=rank, attempt=attempts[rank] - 1)
+                    raise DistExecutionError(
+                        f"rank {rank} aborted (unrecoverable kill)"
+                        + (
+                            f"; resume by re-running with "
+                            f"checkpoint_dir={checkpoint_dir!r}"
+                            if checkpoint_dir is not None else ""
+                        )
+                    )
                 if proc is not None and proc.exitcode is not None:
                     first = suspects.setdefault(rank, now)
                     if now - first >= _GRACE_SECONDS:
@@ -505,12 +653,44 @@ def execute_plan_distributed(
                 health.mark(rank, "straggler")
                 events.emit("straggler", rank=rank)
 
+        def snapshot(state: str) -> None:
+            """Atomically refresh ``coordinator.json`` with live progress."""
+            if checkpoint_dir is None:
+                return
+            write_snapshot(checkpoint_dir, {
+                "v": 1,
+                "state": state,
+                "plan": plan_hash,
+                "b": b_hash,
+                "run": run_hash,
+                "alpha": float(alpha),
+                "nranks": nranks,
+                "attempts": {str(r): a for r, a in attempts.items()},
+                "ranks": {
+                    str(r): {
+                        "state": rh.state,
+                        "tasks_done": rh.tasks_done,
+                        "tasks_total": rh.tasks_total,
+                    }
+                    for r, rh in health.ranks.items()
+                },
+            })
+
+        # The first snapshot lands before any worker makes progress, so a
+        # run killed at any later instant still records its identity (and a
+        # later mismatched plan is refused).
+        snapshot("running")
+        last_snapshot = time.monotonic()
+
         while pending:
             if time.monotonic() > deadline:
                 raise DistExecutionError(
                     f"distributed run timed out after {timeout:.0f} s "
                     f"(pending ranks: {sorted(pending)})"
                 )
+            if time.monotonic() - last_snapshot >= snapshot_interval:
+                snapshot("running")
+                last_snapshot = time.monotonic()
             drain_telemetry()
             try:
                 src, msg, nbytes = coord.recv(timeout=0.1)
@@ -540,6 +720,7 @@ def execute_plan_distributed(
             else:  # pragma: no cover - unknown message kind
                 raise DistExecutionError(f"unexpected message {kind!r} from rank {rank}")
         drain_telemetry()  # beats raced against the final reports
+        snapshot("done")
 
         # ---- reduce -------------------------------------------------------
         out = BlockSparseMatrix(a.rows, plan.b_shape.cols)
@@ -616,6 +797,14 @@ def execute_plan_distributed(
             health=health,
             events_path=events_path,
             stalled=stalled,
+            checkpoint_dir=checkpoint_dir,
+            run_hash=run_hash,
+            plan_hash=plan_hash,
+            blocks_restored=sum(reports[r].blocks_restored for r in range(nranks)),
+            tasks_skipped=sum(reports[r].tasks_skipped for r in range(nranks)),
+            store_hits=sum(reports[r].store_hits for r in range(nranks)),
+            store_misses=sum(reports[r].store_misses for r in range(nranks)),
+            store_puts=sum(reports[r].store_puts for r in range(nranks)),
         )
         events.emit(
             "done",
@@ -628,6 +817,8 @@ def execute_plan_distributed(
         return out, dist_report
     finally:
         events.close()
+        if coord_store is not None:
+            coord_store.close()
         for proc in workers.values():
             if proc.is_alive():
                 proc.terminate()

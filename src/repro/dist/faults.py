@@ -10,6 +10,14 @@ coordinator's missed-heartbeat detector can catch.  By default a fault
 fires only on a rank's first attempt (``once=True``), so the
 coordinator's retry-once recovery succeeds; with ``once=False`` the fault
 is persistent and recovery must fall through to reassignment.
+
+``abort`` models losing the *whole job*, not one rank: the worker dies
+exactly like ``kill`` but with a distinguished exit code that tells the
+coordinator to give up immediately — no retry, no reassignment — leaving
+only what the checkpoint journal captured.  It exists to exercise the
+resume path end to end: run with ``checkpoint_dir`` and an ``abort``
+fault, catch :class:`~repro.dist.DistExecutionError`, run again with the
+same checkpoint directory, and the journaled blocks are skipped.
 """
 
 from __future__ import annotations
@@ -29,8 +37,10 @@ class FaultInjection:
         Fire after this many GEMM tasks have executed on the rank
         (1-based; a count past the rank's task total never fires).
     kind:
-        ``"kill"``, ``"delay"``, or ``"stall"`` (hang silently —
-        heartbeats stop, process stays alive).
+        ``"kill"``, ``"delay"``, ``"stall"`` (hang silently — heartbeats
+        stop, process stays alive), or ``"abort"`` (die like ``kill`` but
+        unrecoverably: the coordinator fails the whole run, to be resumed
+        from its checkpoint).
     delay_seconds:
         Sleep length for ``"delay"``.
     once:
@@ -45,9 +55,10 @@ class FaultInjection:
     once: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay", "stall"):
+        if self.kind not in ("kill", "delay", "stall", "abort"):
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; use 'kill', 'delay' or 'stall'"
+                f"unknown fault kind {self.kind!r}; use 'kill', 'delay', "
+                f"'stall' or 'abort'"
             )
         if self.rank < 0:
             raise ValueError(f"fault rank must be >= 0, got {self.rank}")
@@ -85,8 +96,17 @@ class FaultPlan:
         )
 
     @classmethod
+    def abort(cls, rank: int, at_task: int) -> "FaultPlan":
+        """An unrecoverable kill: the coordinator fails the run immediately
+        (``abort`` faults are always persistent — resuming the job is the
+        only way past one, which is the point)."""
+        return cls(
+            (FaultInjection(rank=rank, at_task=at_task, kind="abort", once=False),)
+        )
+
+    @classmethod
     def parse(cls, spec: str, nranks: int | None = None) -> "FaultPlan":
-        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay|stall]``,
+        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay|stall|abort]``,
         comma-separated for several ranks.
 
         ``nranks`` (when known) bounds the rank field; duplicate ranks are
@@ -99,12 +119,13 @@ class FaultPlan:
             if not part:
                 raise ValueError(
                     f"bad fault spec {spec!r}: empty entry; expected "
-                    f"comma-separated RANK:TASK[:kill|delay|stall]"
+                    f"comma-separated RANK:TASK[:kill|delay|stall|abort]"
                 )
             fields = part.split(":")
             if len(fields) not in (2, 3):
                 raise ValueError(
-                    f"bad fault spec {part!r}; expected RANK:TASK[:kill|delay|stall]"
+                    f"bad fault spec {part!r}; expected "
+                    f"RANK:TASK[:kill|delay|stall|abort]"
                 )
             try:
                 rank, task = int(fields[0]), int(fields[1])
@@ -113,10 +134,10 @@ class FaultPlan:
                     f"bad fault spec {part!r}: RANK and TASK must be integers"
                 ) from None
             kind = fields[2] if len(fields) == 3 else "kill"
-            if kind not in ("kill", "delay", "stall"):
+            if kind not in ("kill", "delay", "stall", "abort"):
                 raise ValueError(
                     f"bad fault kind {kind!r} in {part!r}; "
-                    f"expected kill, delay or stall"
+                    f"expected kill, delay, stall or abort"
                 )
             if rank < 0:
                 raise ValueError(f"bad fault spec {part!r}: rank must be >= 0")
@@ -131,7 +152,9 @@ class FaultPlan:
                     f"injection per rank is honoured"
                 )
             seen.add(rank)
-            injections.append(FaultInjection(rank=rank, at_task=task, kind=kind))
+            injections.append(FaultInjection(
+                rank=rank, at_task=task, kind=kind, once=(kind != "abort"),
+            ))
         return cls(tuple(injections))
 
     def for_rank(self, rank: int) -> FaultInjection | None:

@@ -254,7 +254,7 @@ class EventLog:
 
     def __init__(self, path: str | None):
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8") if path else None
+        self._fh = open(path, "w", encoding="utf-8") if path else None  # repro: noqa[L308] - handle owned by the log, closed in close()
         self.count = 0
 
     def emit(self, event: str, **fields) -> None:
@@ -273,17 +273,28 @@ class EventLog:
 
 
 def read_events(path: str) -> list[dict]:
-    """Parse a ``run-events.jsonl`` file (skipping torn trailing lines)."""
+    """Parse a ``run-events.jsonl`` file (skipping torn trailing lines).
+
+    Crash consistency: a coordinator killed mid-``write`` leaves a torn
+    final line — possibly cut *inside* a multibyte UTF-8 character — and a
+    monitor replaying the log must shrug, not raise.  The file is read as
+    bytes and each line decoded independently, so one mangled line (torn,
+    invalid UTF-8, or valid JSON that is not an object) is skipped without
+    poisoning the rest.
+    """
     out: list[dict] = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # torn final line of a live file
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    for line in raw.split(b"\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue  # torn final line of a live (or killed) file
+        if isinstance(record, dict):
+            out.append(record)
     return out
 
 
@@ -294,48 +305,57 @@ def replay_health(events: list[dict]) -> RunHealth:
     event log carries enough of the heartbeat stream to reconstruct the
     per-rank table (sequence numbers, task progress, state transitions).
     Wall timestamps in the log stand in for the coordinator's monotonic
-    clock — fine for display, never used for detection.
+    clock — fine for display, never used for detection.  Events whose
+    fields do not parse (a half-flushed record from a killed coordinator)
+    are skipped; replay never raises on a readable log.
     """
     health = RunHealth()
     for ev in events:
-        kind = ev.get("event")
-        rank = ev.get("rank")
-        t = ev.get("t", 0.0)
-        if kind == "plan_accepted":
-            health.heartbeat_interval = ev.get("heartbeat_interval", 0.0)
-            for r, total in (ev.get("tasks_per_rank") or {}).items():
-                health.on_scatter(int(r), int(total), attempt=0, now=t)
-        elif kind == "scatter" and rank is not None:
-            prev = health.ranks.get(int(rank))
-            health.on_scatter(
-                int(rank),
-                prev.tasks_total if prev else ev.get("tasks_total", 0),
-                attempt=int(ev.get("attempt", 0)),
-                now=t,
-            )
-        elif kind == "heartbeat" and rank is not None:
-            health.on_heartbeat(
-                HeartbeatMsg(
-                    rank=int(rank),
-                    attempt=int(ev.get("attempt", 0)),
-                    seq=int(ev.get("seq", 0)),
-                    tasks_done=int(ev.get("tasks_done", 0)),
-                ),
-                now=t,
-            )
-        elif kind == "worker_up" and rank is not None:
-            health.mark(int(rank), "up")
-        elif kind == "stall" and rank is not None:
-            health.mark(int(rank), "stalled")
-        elif kind == "straggler" and rank is not None:
-            health.mark(int(rank), "straggler")
-        elif kind == "retry" and rank is not None:
-            health.mark(int(rank), "retried")
-        elif kind == "reassign" and rank is not None:
-            health.mark(int(rank), "reassigned")
-        elif kind == "rank_done" and rank is not None:
-            rh = health.ranks.get(int(rank))
-            if rh is not None:
-                rh.state = "done"
-                rh.tasks_done = int(ev.get("tasks", rh.tasks_done))
+        try:
+            _replay_event(health, ev)
+        except (TypeError, ValueError, KeyError):
+            continue  # malformed fields in a torn/foreign record
     return health
+
+
+def _replay_event(health: RunHealth, ev: dict) -> None:
+    kind = ev.get("event")
+    rank = ev.get("rank")
+    t = ev.get("t", 0.0)
+    if kind == "plan_accepted":
+        health.heartbeat_interval = ev.get("heartbeat_interval", 0.0)
+        for r, total in (ev.get("tasks_per_rank") or {}).items():
+            health.on_scatter(int(r), int(total), attempt=0, now=t)
+    elif kind == "scatter" and rank is not None:
+        prev = health.ranks.get(int(rank))
+        health.on_scatter(
+            int(rank),
+            prev.tasks_total if prev else ev.get("tasks_total", 0),
+            attempt=int(ev.get("attempt", 0)),
+            now=t,
+        )
+    elif kind == "heartbeat" and rank is not None:
+        health.on_heartbeat(
+            HeartbeatMsg(
+                rank=int(rank),
+                attempt=int(ev.get("attempt", 0)),
+                seq=int(ev.get("seq", 0)),
+                tasks_done=int(ev.get("tasks_done", 0)),
+            ),
+            now=t,
+        )
+    elif kind == "worker_up" and rank is not None:
+        health.mark(int(rank), "up")
+    elif kind == "stall" and rank is not None:
+        health.mark(int(rank), "stalled")
+    elif kind == "straggler" and rank is not None:
+        health.mark(int(rank), "straggler")
+    elif kind == "retry" and rank is not None:
+        health.mark(int(rank), "retried")
+    elif kind == "reassign" and rank is not None:
+        health.mark(int(rank), "reassigned")
+    elif kind == "rank_done" and rank is not None:
+        rh = health.ranks.get(int(rank))
+        if rh is not None:
+            rh.state = "done"
+            rh.tasks_done = int(ev.get("tasks", rh.tasks_done))

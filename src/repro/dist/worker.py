@@ -59,6 +59,17 @@ from repro.dist.tile_store import ArenaMeta, TileArena
 from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.numeric import NumericStats, execute_proc_plan
 from repro.runtime.tracing import SpanRecorder, SpanStream
+from repro.store import (
+    CompletedBlock,
+    TileStore,
+    WritebackJournal,
+    ckpt_namespace,
+    ckpt_tile_key,
+)
+
+#: Exit code of an ``abort`` fault — the coordinator reads it off the dead
+#: process and fails the whole run instead of retrying the rank.
+ABORT_EXIT_CODE = 98
 
 #: How long a deliberately stalled worker sleeps (it is terminated by the
 #: coordinator long before this elapses; the bound only guards against a
@@ -86,6 +97,19 @@ class ScatterMsg:
     max_spans: int = 200_000
     heartbeat_interval: float = 0.0  # seconds; <= 0 disables heartbeats
     metrics: bool = False
+    #: Persistent-store / checkpoint wiring (all inert when left at their
+    #: defaults): ``store_dir`` roots the B-tile persistence tier,
+    #: ``ckpt_dir`` enables the writeback journal (and, when ``store_dir``
+    #: is unset, hosts the store under ``<ckpt_dir>/store``), ``b_hash`` /
+    #: ``run_hash`` are the coordinator-computed operand and run
+    #: fingerprints, and ``completed`` lists the already-journaled blocks
+    #: to restore instead of recompute: ``((gpu, block, ((i, j), ...)), ...)``.
+    store_dir: str | None = None
+    store_budget: int | None = None
+    b_hash: str = ""
+    ckpt_dir: str | None = None
+    run_hash: str = ""
+    completed: tuple = ()
 
 
 @dataclass
@@ -102,6 +126,11 @@ class WorkerReport:
     b_hits: int = 0
     b_lru_evictions: int = 0
     metrics: MetricsSnapshot | None = None
+    store_hits: int = 0
+    store_misses: int = 0
+    store_puts: int = 0
+    blocks_restored: int = 0
+    tasks_skipped: int = 0
 
 
 def modeled_a_link_bytes(
@@ -119,6 +148,72 @@ def modeled_a_link_bytes(
             owner = grid.rank(proc.row, owner_col)
             links[(owner, proc.rank)] += a_meta.tile_nbytes((i, k))
     return dict(links)
+
+
+def checkpoint_hooks(
+    store: TileStore,
+    journal: WritebackJournal,
+    run_hash: str,
+    rank: int,
+    completed: dict[tuple[int, int], tuple],
+    registry: MetricsRegistry,
+):
+    """Build the ``(restore_block, on_block, counters)`` checkpoint closures.
+
+    Shared by the worker and the coordinator's inline-reassignment path so
+    both journal and restore identically.  ``completed`` maps ``(gpu,
+    block)`` to the journaled C-tile keys the coordinator already
+    validated against the store.
+
+    Crash-consistency ordering lives in ``on_block``: every C tile is
+    durably in the store *before* the journal line is appended, so a kill
+    between the two leaves an unreferenced (harmless) object, never a
+    journal record promising tiles that do not exist.
+    """
+    ns = ckpt_namespace(run_hash)
+    hist = registry.histogram(
+        "repro_checkpoint_seconds", "per-block checkpoint writeback durations"
+    )
+    m_restored = registry.counter(
+        "repro_checkpoint_blocks_restored_total",
+        "blocks restored from the journal instead of recomputed",
+    )
+    m_skipped = registry.counter(
+        "repro_checkpoint_tasks_skipped_total",
+        "GEMM tasks skipped thanks to journaled blocks",
+    )
+    counters = {"blocks_restored": 0, "tasks_skipped": 0}
+
+    def restore_block(g: int, bi: int, block) -> dict | None:
+        tiles = completed.get((g, bi))
+        if tiles is None:
+            return None
+        out: dict[tuple[int, int], np.ndarray] = {}
+        for i, j in tiles:
+            arr = store.get(ns, ckpt_tile_key(rank, g, bi, i, j))
+            if arr is None:  # validated at scatter; lost to a racing GC since
+                return None
+            # Copy out of the store's read-only map: restored tiles must be
+            # indistinguishable from freshly computed (writable) ones.
+            out[(i, j)] = np.array(arr)
+        counters["blocks_restored"] += 1
+        counters["tasks_skipped"] += block.ntasks
+        m_restored.inc()
+        m_skipped.inc(block.ntasks)
+        return out
+
+    def on_block(g: int, bi: int, block, c_dev: dict) -> None:
+        t_start = time.monotonic()
+        tiles = tuple(sorted(c_dev))
+        for i, j in tiles:
+            store.put(ns, ckpt_tile_key(rank, g, bi, i, j), c_dev[(i, j)])
+        journal.record(run_hash, CompletedBlock(
+            rank=rank, gpu=g, block=bi, chunks=len(block.chunks),
+            ntasks=block.ntasks, tiles=tiles,
+        ))
+        hist.observe(time.monotonic() - t_start)
+
+    return restore_block, on_block, counters
 
 
 class _Progress:
@@ -287,8 +382,25 @@ def run_rank(
         )
         hb.start()
 
+    store: TileStore | None = None
+    journal: WritebackJournal | None = None
+    restore_block = on_block = None
+    ckpt_counters = {"blocks_restored": 0, "tasks_skipped": 0}
     attached: list[TileArena] = []
     try:
+        if msg.store_dir is not None or msg.ckpt_dir is not None:
+            root = msg.store_dir or os.path.join(msg.ckpt_dir, "store")
+            store = TileStore(
+                root, budget_bytes=msg.store_budget, metrics=registry
+            )
+        if msg.ckpt_dir is not None:
+            journal = WritebackJournal(msg.ckpt_dir, rank)
+            restore_block, on_block, ckpt_counters = checkpoint_hooks(
+                store, journal, msg.run_hash, rank,
+                {(g, bi): tiles for g, bi, tiles in msg.completed},
+                registry,
+            )
+
         with rec.span("shm.attach", f"net.{rank}"):
             a_arena = TileArena.attach(msg.a_meta)
             attached.append(a_arena)
@@ -302,6 +414,7 @@ def run_rank(
                 b_source = BService(
                     payload, budget_bytes=msg.gpu_memory_bytes, recorder=rec,
                     metrics=registry,
+                    store=store, store_ns=f"b:{msg.b_hash}",
                 )
 
             c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
@@ -322,6 +435,8 @@ def run_rank(
             if fault is not None and progress.tasks == fault.at_task:
                 if fault.kind == "kill":
                     os._exit(99)
+                if fault.kind == "abort":
+                    os._exit(ABORT_EXIT_CODE)
                 if fault.kind == "stall":
                     # Go silent the way a livelocked rank would: stop the
                     # heartbeat thread, then hang the executing thread.
@@ -359,6 +474,8 @@ def run_rank(
             on_task=on_task if need_on_task else None,
             on_event=on_event,
             clock=rec.now,
+            restore_block=restore_block,
+            on_block=on_block,
         )
         stats.b_tiles_generated = b_source.generated_tiles()
 
@@ -379,6 +496,7 @@ def run_rank(
                 "trace spans discarded at the recorder bound",
             ).inc(rec.dropped)
 
+        store_stats = store.stats() if store is not None else None
         return WorkerReport(
             rank=rank,
             attempt=msg.attempt,
@@ -390,10 +508,19 @@ def run_rank(
             b_hits=b_source.hits,
             b_lru_evictions=b_source.lru_evictions,
             metrics=registry.snapshot() if registry.enabled else None,
+            store_hits=store_stats.hits if store_stats else 0,
+            store_misses=store_stats.misses if store_stats else 0,
+            store_puts=store_stats.puts if store_stats else 0,
+            blocks_restored=ckpt_counters["blocks_restored"],
+            tasks_skipped=ckpt_counters["tasks_skipped"],
         )
     finally:
         if hb is not None:
             hb.suspend()
+        if journal is not None:
+            journal.close()
+        if store is not None:
+            store.close()
         for arena in attached:
             arena.close()
 

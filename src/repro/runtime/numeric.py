@@ -174,6 +174,8 @@ def execute_proc_plan(
     on_task: Callable[[], None] | None = None,
     on_event: Callable[[str, str, float, float], None] | None = None,
     clock: Callable[[], float] | None = None,
+    restore_block: Callable[[int, int, Block], dict | None] | None = None,
+    on_block: Callable[[int, int, Block, dict], None] | None = None,
 ) -> tuple[dict[tuple[int, int], np.ndarray], NumericStats]:
     """Execute everything one process rank does; returns ``(C tiles, stats)``.
 
@@ -182,6 +184,15 @@ def execute_proc_plan(
     are evicted at the end of each block's life-cycle (``b.evict``), C tiles
     are counted as written back (d2h) once per block, exactly as PaRSEC's
     control DAG forces on the real machine.
+
+    Checkpoint hooks: ``restore_block(g, bi, block)`` may return the
+    block's finished ``{(i, j): tile}`` dict — the whole block is then
+    skipped (no GEMMs, no stats) and the tiles enter ``produced`` as-is;
+    ``on_block(g, bi, block, c_dev)`` fires after each *executed* block's
+    writeback, which is where the distributed worker journals completed
+    work.  Restored blocks are exactly the journaled ones, and journaled
+    tiles are bit-identical to recomputed ones, so a resumed run's C
+    equals an uninterrupted run's C bit for bit.
     """
     stats = NumericStats()
     produced: dict[tuple[int, int], np.ndarray] = {}
@@ -190,6 +201,11 @@ def execute_proc_plan(
         resource = f"gpu.{proc.rank}.{g}.comp"
         for bi, block in enumerate(proc.gpu_blocks(g)):
             block_name = f"block{bi}"
+            if restore_block is not None:
+                restored = restore_block(g, bi, block)
+                if restored is not None:
+                    produced.update(restored)
+                    continue
             mem.reserve(block_name, block.b_bytes + block.c_bytes)
             stats.h2d_bytes += block.b_bytes
             cols_of_k = block_cols_of_k(block, b_csr)
@@ -217,6 +233,8 @@ def execute_proc_plan(
             for (i, j), tile in c_dev.items():
                 produced[(i, j)] = tile
                 stats.d2h_bytes += tile.nbytes
+            if on_block is not None:
+                on_block(g, bi, block, c_dev)
 
             # Evict the block's B tiles at end of life-cycle.
             if hasattr(b, "evict"):

@@ -1,0 +1,160 @@
+"""The binary tile codec: one tile per object file, self-describing.
+
+Object layout (little-endian), designed so a reader needs *nothing* but
+the file itself:
+
+* bytes ``0..4``   — magic ``b"RTS1"``;
+* bytes ``4..6``   — format version (``u16``, currently 1);
+* bytes ``6..8``   — flags (``u16``; bit 0 = zlib-compressed payload);
+* bytes ``8..12``  — header size (``u32``): the payload offset, always a
+  multiple of 64 so an uncompressed float64 payload is alignment-safe to
+  map directly with :func:`numpy.frombuffer`;
+* bytes ``12..20`` — payload byte length as stored on disk (``u64``);
+* bytes ``20..28`` — decoded (uncompressed) payload byte length (``u64``);
+* bytes ``28..32`` — CRC32 of the *decoded* payload (``u32``);
+* bytes ``32..36`` — metadata JSON length (``u32``);
+* bytes ``36..``   — metadata JSON (``{"ns", "key", "dtype", "shape"}``)
+  followed by zero padding up to the header size.
+
+The metadata carries the logical identity (namespace + key), so a store
+index can always be rebuilt by scanning object headers, and the CRC makes
+torn or bit-rotted payloads detectable — the checkpoint journal refuses to
+trust a tile whose checksum does not match.
+
+Only C-contiguous arrays are encoded; tiles are float64 in practice but
+the codec round-trips any numpy dtype with a stable ``str`` form.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+MAGIC = b"RTS1"
+VERSION = 1
+FLAG_COMPRESSED = 0x1
+
+#: Fixed-width prefix before the metadata JSON: magic, version, flags,
+#: header size, stored payload bytes, decoded payload bytes, payload CRC32,
+#: metadata length.
+_PREFIX = struct.Struct("<4sHHIQQII")
+
+#: Header sizes are rounded up to this, keeping mapped payloads aligned.
+ALIGN = 64
+
+
+class CodecError(ValueError):
+    """An object file is not a valid (or not an intact) encoded tile."""
+
+
+def encode_tile(ns: str, key, arr: np.ndarray, *, compress: int | None = None) -> bytes:
+    """Serialize one tile to the self-describing object format.
+
+    ``compress`` is a zlib level (1..9) or ``None`` for raw payload bytes
+    (raw objects can be read zero-copy via mmap; compressed ones cannot).
+    """
+    arr = np.ascontiguousarray(arr)
+    raw = arr.tobytes()
+    flags = 0
+    payload = raw
+    if compress is not None:
+        payload = zlib.compress(raw, compress)
+        flags |= FLAG_COMPRESSED
+    meta = json.dumps(
+        {"ns": ns, "key": list(key), "dtype": str(arr.dtype), "shape": list(arr.shape)},
+        sort_keys=True,
+    ).encode("utf-8")
+    header_size = _PREFIX.size + len(meta)
+    header_size += (-header_size) % ALIGN
+    prefix = _PREFIX.pack(
+        MAGIC, VERSION, flags, header_size,
+        len(payload), len(raw), zlib.crc32(raw) & 0xFFFFFFFF, len(meta),
+    )
+    pad = b"\x00" * (header_size - _PREFIX.size - len(meta))
+    return prefix + meta + pad + payload
+
+
+def read_header(buf) -> dict:
+    """Parse an object's header from a buffer (file prefix or full object).
+
+    Returns ``{"ns", "key", "dtype", "shape", "flags", "header_size",
+    "payload_bytes", "decoded_bytes", "crc32"}``.  Raises
+    :class:`CodecError` on anything that is not an intact header.
+    """
+    if len(buf) < _PREFIX.size:
+        raise CodecError("object shorter than the codec prefix")
+    magic, version, flags, header_size, pbytes, dbytes, crc, mlen = _PREFIX.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r} (not an RTS1 tile object)")
+    if version != VERSION:
+        raise CodecError(f"unsupported tile-object version {version}")
+    if len(buf) < _PREFIX.size + mlen:
+        raise CodecError("object truncated inside the metadata block")
+    try:
+        meta = json.loads(bytes(buf[_PREFIX.size:_PREFIX.size + mlen]).decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        raise CodecError(f"corrupt metadata JSON: {e}") from None
+    return {
+        "ns": meta.get("ns", ""),
+        "key": tuple(meta.get("key", ())),
+        "dtype": meta.get("dtype", "float64"),
+        "shape": tuple(meta.get("shape", ())),
+        "flags": flags,
+        "header_size": header_size,
+        "payload_bytes": pbytes,
+        "decoded_bytes": dbytes,
+        "crc32": crc,
+    }
+
+
+def decode_tile(buf, *, verify: bool = True) -> tuple[dict, np.ndarray]:
+    """Decode a full object buffer; returns ``(header, array)``.
+
+    ``verify=True`` checks the payload CRC (mandatory for compressed
+    payloads anyway, since zlib errors already surface corruption).
+    Raises :class:`CodecError` on truncation or checksum mismatch.
+    """
+    header = read_header(buf)
+    start = header["header_size"]
+    end = start + header["payload_bytes"]
+    if len(buf) < end:
+        raise CodecError(
+            f"object truncated: {len(buf)} B on disk, payload ends at {end} B"
+        )
+    payload = bytes(buf[start:end])
+    if header["flags"] & FLAG_COMPRESSED:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as e:
+            raise CodecError(f"corrupt compressed payload: {e}") from None
+    if len(payload) != header["decoded_bytes"]:
+        raise CodecError(
+            f"decoded payload is {len(payload)} B, header says "
+            f"{header['decoded_bytes']} B"
+        )
+    if verify and (zlib.crc32(payload) & 0xFFFFFFFF) != header["crc32"]:
+        raise CodecError("payload CRC32 mismatch (torn write or bit rot)")
+    arr = np.frombuffer(payload, dtype=np.dtype(header["dtype"]))
+    return header, arr.reshape(header["shape"])
+
+
+def map_tile(header: dict, buf) -> np.ndarray:
+    """A zero-copy read-only array over an *uncompressed* object buffer.
+
+    ``buf`` must stay alive (e.g. an open ``mmap``) as long as the view;
+    the store owns that life-cycle.  Compressed objects cannot be mapped —
+    callers fall back to :func:`decode_tile`.
+    """
+    if header["flags"] & FLAG_COMPRESSED:
+        raise CodecError("compressed objects cannot be memory-mapped")
+    arr = np.frombuffer(
+        buf, dtype=np.dtype(header["dtype"]),
+        count=int(np.prod(header["shape"], dtype=np.int64)) if header["shape"] else 1,
+        offset=header["header_size"],
+    )
+    view = arr.reshape(header["shape"])
+    view.flags.writeable = False
+    return view

@@ -1,0 +1,464 @@
+"""The on-disk, content-addressed tile store.
+
+A :class:`TileStore` persists tiles across process *and* run boundaries —
+the second cache tier behind the per-rank B-service LRU, and the durable
+home of checkpointed C tiles.  Layout under the store root::
+
+    objects/ab/abcdef...tile   one codec-encoded tile per file
+    index.jsonl                append-only {digest, ns, key, nbytes} records
+    stats.jsonl                one session-counter record per closed session
+
+Properties the distributed executor leans on:
+
+* **content addressing** — an object's file name is the SHA-256 of its
+  logical identity ``(namespace, key)``.  Namespaces fold in the operand
+  fingerprint (B generator seed/shape, or the run hash for checkpointed C
+  tiles), so two runs over identical inputs share bytes and two runs over
+  different inputs can never collide;
+* **crash consistency** — objects are written to a temporary file in the
+  same directory, fsynced, then :func:`os.replace`\\ d into place.  A
+  reader sees either nothing or a complete object, never a torn one; the
+  codec CRC catches anything the filesystem still manages to mangle;
+* **zero-copy reads** — uncompressed objects are memory-mapped and handed
+  out as read-only NumPy views (the store keeps the maps alive until
+  :meth:`close`); compressed objects are decoded into fresh arrays;
+* **size-bounded GC** — :meth:`gc` evicts least-recently-used objects
+  (access bumps an object's mtime) until the store fits a byte budget;
+  with a ``budget_bytes`` every :meth:`put` triggers the same sweep;
+* **concurrent writers** — many ranks on one filesystem can put the same
+  object simultaneously: each writes its own temp file and the last
+  ``os.replace`` wins with identical bytes.  Index/stats appends are
+  single short writes in append mode (atomic on POSIX for one line).
+
+The store is deliberately dependency-free: stdlib ``mmap``/``zlib`` and
+NumPy only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.store.codec import CodecError, decode_tile, encode_tile, map_tile, read_header
+
+_OBJ_SUFFIX = ".tile"
+_TMP_SUFFIX = ".tmp"
+
+#: Temp files younger than this are presumed to belong to a live writer in
+#: another process and are left alone by :meth:`TileStore.scan`'s sweep.
+_TMP_SWEEP_SECONDS = 60.0
+
+
+def object_digest(ns: str, key) -> str:
+    """The content address of a tile: SHA-256 over ``(namespace, key)``."""
+    ident = json.dumps([ns, list(key)], sort_keys=True).encode("utf-8")
+    return hashlib.sha256(ident).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """One store session's counters plus the on-disk totals."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    objects: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses, "puts": self.puts,
+            "evictions": self.evictions, "corrupt": self.corrupt,
+            "bytes_written": self.bytes_written, "bytes_read": self.bytes_read,
+        }
+
+
+@dataclass
+class ObjectInfo:
+    """One on-disk object, as :meth:`TileStore.scan` reports it."""
+
+    digest: str
+    path: str
+    nbytes: int
+    mtime: float
+    ns: str = ""
+    key: tuple = ()
+
+
+@dataclass
+class _SessionCounters:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    closed: bool = field(default=False, repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses, "puts": self.puts,
+            "evictions": self.evictions, "corrupt": self.corrupt,
+            "bytes_written": self.bytes_written, "bytes_read": self.bytes_read,
+        }
+
+
+class TileStore:
+    """A persistent tile store rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on demand).
+    budget_bytes:
+        Optional size bound; exceeding it after a :meth:`put` triggers an
+        LRU sweep back under budget.
+    compress:
+        Default zlib level for :meth:`put` (``None`` = raw, mappable).
+    metrics:
+        Optional :class:`~repro.runtime.metrics.MetricsRegistry`; the
+        store feeds ``repro_store_*`` counters and gauges when given.
+    """
+
+    def __init__(self, root: str, *, budget_bytes: int | None = None,
+                 compress: int | None = None, metrics=None):
+        self.root = root
+        self.budget_bytes = budget_bytes
+        self.compress = compress
+        self._objects_dir = os.path.join(root, "objects")
+        os.makedirs(self._objects_dir, exist_ok=True)
+        self._maps: list[mmap.mmap] = []
+        self._session = _SessionCounters()
+        if metrics is None:
+            from repro.runtime.metrics import MetricsRegistry
+            metrics = MetricsRegistry(enabled=False)
+        self._m_hits = metrics.counter(
+            "repro_store_hits_total", "persistent tile-store hits"
+        )
+        self._m_misses = metrics.counter(
+            "repro_store_misses_total", "persistent tile-store misses"
+        )
+        self._m_evictions = metrics.counter(
+            "repro_store_evictions_total", "tile-store LRU evictions"
+        )
+        self._m_written = metrics.counter(
+            "repro_store_written_bytes_total", "bytes written to the tile store"
+        )
+        self._m_read = metrics.counter(
+            "repro_store_read_bytes_total", "bytes read from the tile store"
+        )
+        self._m_disk = metrics.gauge(
+            "repro_store_disk_bytes", "bytes resident in the tile store", agg="max"
+        )
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self._objects_dir, digest[:2], digest + _OBJ_SUFFIX)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.jsonl")
+
+    @property
+    def stats_path(self) -> str:
+        return os.path.join(self.root, "stats.jsonl")
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, ns: str, key, arr: np.ndarray, *,
+            compress: int | None = None) -> bool:
+        """Store one tile; returns ``False`` if it was already present.
+
+        Atomic: the object is written next to its final path and renamed
+        in, so a killed writer leaves at most a ``*.tmp`` file (swept by
+        :meth:`gc`) and never a torn object.
+        """
+        digest = object_digest(ns, key)
+        path = self._path(digest)
+        if os.path.exists(path):
+            return False
+        blob = encode_tile(ns, key, arr,
+                           compress=self.compress if compress is None else compress)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.{os.getpid()}{_TMP_SUFFIX}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            os.replace(tmp, path)
+        except FileNotFoundError:
+            # Another process's sweep mistook our in-flight temp file for a
+            # dead writer's leftover (possible when a writer outlives
+            # _TMP_SWEEP_SECONDS).  The content is deterministic, so just
+            # write it again; second loss in a row means something is
+            # actually deleting our files.
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        self._session.puts += 1
+        self._session.bytes_written += len(blob)
+        self._m_written.inc(len(blob))
+        self._append_index(digest, ns, key, len(blob))
+        if self.budget_bytes is not None:
+            self.gc(self.budget_bytes)
+        return True
+
+    def _append_index(self, digest: str, ns: str, key, nbytes: int) -> None:
+        line = json.dumps(
+            {"digest": digest, "ns": ns, "key": list(key), "nbytes": nbytes},
+            sort_keys=True,
+        )
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    # -- read ----------------------------------------------------------------
+
+    def contains(self, ns: str, key) -> bool:
+        return os.path.exists(self._path(object_digest(ns, key)))
+
+    def get(self, ns: str, key, *, verify: bool = False) -> np.ndarray | None:
+        """Fetch a tile, or ``None`` when absent (or corrupt).
+
+        Uncompressed objects come back as zero-copy read-only views over a
+        private memory map the store keeps open until :meth:`close`;
+        compressed (or ``verify=True``) reads decode a fresh array.  A
+        corrupt object is counted, treated as a miss, and left in place
+        for post-mortems (GC will age it out).
+        """
+        path = self._path(object_digest(ns, key))
+        try:
+            mm = self._open_map(path)
+        except CodecError:  # zero-length file: torn beyond recognition
+            self._corrupt()
+            return None
+        if mm is None:
+            self._session.misses += 1
+            self._m_misses.inc()
+            return None
+        try:
+            if verify:
+                with memoryview(mm) as view:
+                    _, arr = decode_tile(view, verify=True)
+                mm.close()  # decode copied the payload; the map can go
+            else:
+                header = read_header(mm)
+                if header["flags"] & 0x1:  # compressed: decode a copy
+                    with memoryview(mm) as view:
+                        _, arr = decode_tile(view, verify=False)
+                    mm.close()
+                else:
+                    end = header["header_size"] + header["payload_bytes"]
+                    if len(mm) < end:
+                        raise CodecError("object truncated")
+                    arr = map_tile(header, mm)
+                    self._maps.append(mm)  # must outlive the view
+        except CodecError:
+            mm.close()
+            self._corrupt()
+            return None
+        self._session.hits += 1
+        self._session.bytes_read += arr.nbytes
+        self._m_hits.inc()
+        self._m_read.inc(arr.nbytes)
+        self._touch(path)
+        return arr
+
+    @staticmethod
+    def _open_map(path: str) -> mmap.mmap | None:
+        """Map one object read-only; ``None`` when absent.
+
+        The file handle is released immediately — the mapping survives it
+        (POSIX mmap semantics) and its life-cycle belongs to the caller.
+        Raises :class:`CodecError` for a zero-length (torn) file.
+        """
+        try:
+            with open(path, "rb") as fh:
+                try:
+                    return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                except ValueError:
+                    raise CodecError("zero-length object file") from None
+        except FileNotFoundError:
+            return None
+
+    def _corrupt(self) -> None:
+        self._session.corrupt += 1
+        self._session.misses += 1
+        self._m_misses.inc()
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Bump the object's recency (mtime is the LRU clock)."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced against an eviction
+            pass
+
+    # -- scan / GC -----------------------------------------------------------
+
+    def scan(self, *, with_headers: bool = False) -> list[ObjectInfo]:
+        """Every object on disk, oldest (least recently used) first."""
+        out: list[ObjectInfo] = []
+        for sub in sorted(os.listdir(self._objects_dir)):
+            subdir = os.path.join(self._objects_dir, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                path = os.path.join(subdir, name)
+                if not name.endswith(_OBJ_SUFFIX):
+                    if name.endswith(_TMP_SUFFIX):
+                        # A temp file is a dead writer's leftover only once
+                        # it has gone stale: other ranks write (and rename
+                        # away) their temps within moments, and sweeping a
+                        # *live* writer's temp would fail its rename.
+                        try:
+                            stale = (
+                                time.time() - os.stat(path).st_mtime
+                                > _TMP_SWEEP_SECONDS
+                            )
+                        except FileNotFoundError:
+                            stale = False  # renamed into place mid-scan
+                        if stale:
+                            _remove_quietly(path)
+                    continue
+                try:
+                    st = os.stat(path)
+                except FileNotFoundError:  # pragma: no cover - concurrent GC
+                    continue
+                info = ObjectInfo(
+                    digest=name[:-len(_OBJ_SUFFIX)], path=path,
+                    nbytes=st.st_size, mtime=st.st_mtime,
+                )
+                if with_headers:
+                    try:
+                        with open(path, "rb") as fh:
+                            header = read_header(fh.read(4096))
+                        info.ns, info.key = header["ns"], header["key"]
+                    except (OSError, CodecError):
+                        pass
+                out.append(info)
+        out.sort(key=lambda o: (o.mtime, o.digest))
+        return out
+
+    def disk_bytes(self) -> int:
+        return sum(o.nbytes for o in self.scan())
+
+    def gc(self, budget_bytes: int) -> tuple[int, int]:
+        """Evict LRU objects until the store fits; returns ``(n, bytes)``."""
+        objs = self.scan()
+        total = sum(o.nbytes for o in objs)
+        evicted = freed = 0
+        for obj in objs:
+            if total <= budget_bytes:
+                break
+            _remove_quietly(obj.path)
+            total -= obj.nbytes
+            freed += obj.nbytes
+            evicted += 1
+            self._session.evictions += 1
+            self._m_evictions.inc()
+        self._m_disk.set(total)
+        return evicted, freed
+
+    # -- stats / life-cycle --------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """This session's counters plus the current on-disk totals."""
+        objs = self.scan()
+        s = self._session
+        return StoreStats(
+            hits=s.hits, misses=s.misses, puts=s.puts, evictions=s.evictions,
+            corrupt=s.corrupt, bytes_written=s.bytes_written,
+            bytes_read=s.bytes_read, objects=len(objs),
+            disk_bytes=sum(o.nbytes for o in objs),
+        )
+
+    def close(self) -> None:
+        """Flush session counters to ``stats.jsonl`` and drop every map.
+
+        Idempotent; a session with no activity appends nothing.  Maps
+        still referenced by live views are left open (closing them would
+        invalidate the views) — they die with the process.
+        """
+        if not self._session.closed:
+            s = self._session
+            if s.hits or s.misses or s.puts or s.evictions:
+                record = {"t": time.time(), **s.as_dict()}
+                with open(self.stats_path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._session.closed = True
+        kept: list[mmap.mmap] = []
+        for mm in self._maps:
+            try:
+                mm.close()
+            except BufferError:  # a zero-copy view is still alive
+                kept.append(mm)
+        self._maps = kept
+
+
+def read_store_stats(root: str) -> StoreStats:
+    """Aggregate every recorded session of a store plus its disk state.
+
+    This is what ``repro store stats`` renders: cumulative hit/miss/put
+    counters across all runs that used the store (each session appends one
+    record on close) and the current object count and byte total.  Torn
+    trailing records — a killed run — are skipped, same policy as the
+    run-event log.
+    """
+    total = StoreStats()
+    stats_path = os.path.join(root, "stats.jsonl")
+    if os.path.exists(stats_path):
+        with open(stats_path, "rb") as fh:
+            raw = fh.read()
+        for line in raw.split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn final record of a killed session
+            if not isinstance(rec, dict):
+                continue
+            total.hits += int(rec.get("hits", 0))
+            total.misses += int(rec.get("misses", 0))
+            total.puts += int(rec.get("puts", 0))
+            total.evictions += int(rec.get("evictions", 0))
+            total.corrupt += int(rec.get("corrupt", 0))
+            total.bytes_written += int(rec.get("bytes_written", 0))
+            total.bytes_read += int(rec.get("bytes_read", 0))
+    if os.path.isdir(os.path.join(root, "objects")):
+        store = TileStore(root)
+        try:
+            objs = store.scan()
+            total.objects = len(objs)
+            total.disk_bytes = sum(o.nbytes for o in objs)
+        finally:
+            store.close()
+    return total
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except FileNotFoundError:  # pragma: no cover - raced with another GC
+        pass

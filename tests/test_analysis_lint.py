@@ -255,6 +255,82 @@ class TestDaemonThread:
         """) == set()
 
 
+class TestUnmanagedHandle:
+    """L308: open()/mmap in dist+store must have a guaranteed close path."""
+
+    def _lint_store(self, src):
+        return {
+            f.rule
+            for f in lint_source(
+                textwrap.dedent(src), filename="src/repro/store/fixture.py"
+            )
+        }
+
+    def test_bare_open_fires(self):
+        findings = lint_source(
+            "fh = open('x')\n", filename="src/repro/store/fixture.py"
+        )
+        assert {f.rule for f in findings} == {"L308"}
+        assert "leaks the descriptor" in findings[0].message
+
+    def test_bare_mmap_fires_in_dist(self):
+        assert {
+            f.rule
+            for f in lint_source(
+                "import mmap\nm = mmap.mmap(-1, 10)\n",
+                filename="src/repro/dist/fixture.py",
+            )
+        } == {"L308"}
+
+    def test_with_statement_is_clean(self):
+        assert self._lint_store("""
+            def read(path):
+                with open(path, 'rb') as fh:
+                    return fh.read()
+        """) == set()
+
+    def test_immediate_return_is_clean(self):
+        # Handing the handle straight to the caller transfers ownership;
+        # this is how TileStore._open_map returns its mmap.
+        assert self._lint_store("""
+            import mmap
+
+            def open_map(path):
+                with open(path, 'rb') as fh:
+                    return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        """) == set()
+
+    def test_cleanup_try_is_clean(self):
+        assert self._lint_store("""
+            def copy(path):
+                fh = None
+                try:
+                    fh = open(path)
+                    return fh.read()
+                finally:
+                    if fh is not None:
+                        fh.close()
+        """) == set()
+
+    def test_outside_dist_and_store_is_ignored(self):
+        assert _rules("fh = open('x')\n") == set()
+
+    def test_noqa_suppresses(self):
+        assert self._lint_store(
+            "fh = open('x')  # repro: noqa[L308]\n"
+        ) == set()
+
+    def test_os_open_not_flagged(self):
+        # Raw fds have their own discipline; the rule targets the builtin.
+        assert self._lint_store("""
+            import os
+
+            def probe(path):
+                fd = os.open(path, os.O_RDONLY)
+                os.close(fd)
+        """) == set()
+
+
 class TestSourceTree:
     def test_repro_package_lints_clean(self):
         """The shipped source tree must stay lint-clean — this is the same

@@ -48,7 +48,7 @@ class TestParseMalformed:
             FaultPlan.parse(spec)
 
     def test_unknown_kind(self):
-        with pytest.raises(ValueError, match="expected kill, delay or stall"):
+        with pytest.raises(ValueError, match="expected kill, delay, stall or abort"):
             FaultPlan.parse("0:5:explode")
 
     def test_empty_entry(self):

@@ -216,6 +216,25 @@ class TestEventLog:
         events = read_events(path)
         assert len(events) == 1
 
+    def test_torn_multibyte_tail_skipped(self, tmp_path):
+        # A SIGKILL can land mid-UTF-8-sequence; the partial bytes must
+        # not poison the whole file (UnicodeDecodeError), only the line.
+        path = str(tmp_path / "run-events.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(json.dumps({"t": 1.0, "event": "done"}).encode() + b"\n")
+            fh.write('{"t": 2.0, "label": "café'.encode("utf-8")[:-1])
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["event"] == "done"
+
+    def test_non_dict_json_line_skipped(self, tmp_path):
+        path = str(tmp_path / "run-events.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"t": 1.0, "event": "done"}) + "\n")
+            fh.write("42\n")           # valid JSON, not an event record
+            fh.write('"surprise"\n')
+        assert len(read_events(path)) == 1
+
 
 class TestReplay:
     def _log(self, tmp_path, emits):
@@ -264,6 +283,21 @@ class TestReplay:
         assert rh.tasks_total == 8  # carried across the rescatter
         # And the reconstructed view renders (the monitor's whole job).
         assert "reassigned" in health.table(now=events[-1]["t"])
+
+    def test_replay_tolerates_malformed_fields(self, tmp_path):
+        # A record with the right event name but a garbage payload (hand
+        # edits, version skew) must degrade to "skip that event", not
+        # crash the monitor attached to a live run.
+        events = self._log(tmp_path, [
+            ("plan_accepted", dict(nranks=1, heartbeat_interval=0.1,
+                                   tasks_per_rank={"0": 4})),
+            ("scatter", dict(rank=0, attempt=0, tasks_total=4)),
+            ("heartbeat", dict(rank="bogus", attempt=0, seq=0)),
+            ("heartbeat", dict(rank=0, attempt=0, seq=0, tasks_done=2)),
+        ])
+        health = replay_health(events)
+        assert health.ranks[0].tasks_done == 2
+        assert health.heartbeats == 1
 
     def test_replay_tolerates_unknown_events(self, tmp_path):
         events = self._log(tmp_path, [
