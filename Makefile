@@ -1,19 +1,33 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist trace-smoke resume-smoke bench-smoke analyze bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke resume-smoke bench-smoke analyze model-check docs-rules bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
-test: analyze resume-smoke
+test: analyze model-check resume-smoke
 	pytest tests/
 
 # Static analysis gate: the AST concurrency lint over the source tree, then
 # the plan verifier + task-graph checks on an inspector-built plan.  Both
 # exit nonzero exactly when findings exist, so this fails the build early.
+# Findings are mirrored as SARIF under /tmp/repro-sarif for code-scanning
+# ingestion and failure artifacts.
 analyze:
-	PYTHONPATH=src python -m repro lint src/repro
-	PYTHONPATH=src python -m repro analyze
+	PYTHONPATH=src python -m repro lint src/repro --sarif /tmp/repro-sarif/lint.sarif
+	PYTHONPATH=src python -m repro analyze --sarif /tmp/repro-sarif/analysis.sarif
+
+# Protocol model check: bounded exhaustive exploration of the
+# coordinator/worker protocol (deadlock freedom, bounded queues,
+# recovery/resume safety; M4xx) plus the AST conformance pass pinning the
+# model to the repro.dist call sites.
+model-check:
+	PYTHONPATH=src python -m repro analyze --model-check --sarif /tmp/repro-sarif/model-check.sarif
+
+# Regenerate the committed rule catalog from the registry; CI fails when
+# docs/rules.md drifts (repro rules --check docs/rules.md).
+docs-rules:
+	PYTHONPATH=src python -m repro rules -o docs/rules.md
 
 # The full multi-process executor suite (fault injection, 4-worker grids,
 # checkpoint/resume, CLI round-trips); budgeted so a hung worker can never

@@ -1,6 +1,6 @@
-"""Static analysis for plans, task graphs, and the source tree.
+"""Static analysis for plans, task graphs, the source tree, and the protocol.
 
-Three layers reporting through one uniform :class:`Finding` vocabulary
+Four layers reporting through one uniform :class:`Finding` vocabulary
 (rule id, severity, location, message) and one rule registry:
 
 * :mod:`~repro.analysis.plan_checks` — the plan verifier: coverage,
@@ -14,14 +14,28 @@ Three layers reporting through one uniform :class:`Finding` vocabulary
 * :mod:`~repro.analysis.lint` — an AST concurrency lint for the hazards
   specific to this codebase: leaked shared memory, start-method-unsafe
   multiprocessing, legacy global RNG, frozen-dataclass mutation, bare
-  excepts (rules ``L3xx``, suppressible with ``# repro: noqa[RULE]``).
+  excepts (rules ``L3xx``, suppressible with ``# repro: noqa[RULE]``;
+  a stale suppression is itself flagged, ``L399``);
+* :mod:`~repro.analysis.protocol` — the protocol model checker: the
+  coordinator/worker message protocol declared as explicit state
+  machines, explored exhaustively over small fault scopes (deadlock
+  freedom, bounded queues, recovery/resume safety) and pinned to the
+  ``repro.dist`` call sites by an AST conformance pass (rules ``M4xx``).
 
-CLI: ``repro analyze`` (plan + task-graph checks) and ``repro lint``
-(source checks), both exiting nonzero exactly when findings exist.
+CLI: ``repro analyze`` (plan + task-graph checks; ``--model-check``
+adds the protocol layer), ``repro lint`` (source checks), and ``repro
+rules`` (the generated rule catalog) — the first two exiting nonzero
+exactly when findings exist, and both exporting SARIF 2.1.0 via
+``--sarif`` (:mod:`~repro.analysis.sarif`) for code-scanning ingestion.
 Executors opt in via ``psgemm_distributed(..., verify_plan=True)``,
 which raises :class:`PlanVerificationError` before any worker spawns.
 """
 
+from repro.analysis.catalog import (
+    check_rule_catalog,
+    rule_catalog_markdown,
+    write_rule_catalog,
+)
 from repro.analysis.dag_checks import (
     check_conflicts,
     check_engine,
@@ -35,7 +49,23 @@ from repro.analysis.plan_checks import (
     assert_plan_valid,
     verify_plan,
 )
+from repro.analysis.protocol import (
+    ModelCheckResult,
+    ProtocolModel,
+    Scenario,
+    build_protocol_model,
+    check_protocol,
+    check_protocol_conformance,
+    default_scenarios,
+)
 from repro.analysis.rules import Rule, all_rules, get_rule
+from repro.analysis.sarif import (
+    SarifValidationError,
+    to_sarif,
+    validate_sarif,
+    validate_sarif_file,
+    write_sarif,
+)
 from repro.analysis.store_checks import (
     check_checkpoint_compat,
     check_store_capacity,
@@ -46,20 +76,35 @@ __all__ = [
     "AnalysisReport",
     "Finding",
     "Location",
+    "ModelCheckResult",
     "PlanVerificationError",
+    "ProtocolModel",
     "Rule",
+    "SarifValidationError",
+    "Scenario",
     "Severity",
     "all_rules",
     "assert_plan_valid",
+    "build_protocol_model",
     "check_checkpoint_compat",
     "check_conflicts",
     "check_engine",
+    "check_protocol",
+    "check_protocol_conformance",
+    "check_rule_catalog",
     "check_store_capacity",
     "check_task_graph",
+    "default_scenarios",
     "get_rule",
+    "rule_catalog_markdown",
+    "to_sarif",
+    "validate_sarif",
+    "validate_sarif_file",
+    "verify_plan",
     "verify_store_setup",
     "lint_paths",
     "lint_source",
     "plan_tile_accesses",
-    "verify_plan",
+    "write_rule_catalog",
+    "write_sarif",
 ]

@@ -70,9 +70,15 @@ class Finding:
 
 @dataclass
 class AnalysisReport:
-    """An ordered collection of findings from one or more analyzers."""
+    """An ordered collection of findings from one or more analyzers.
+
+    ``files_scanned`` counts the source files an AST pass actually
+    parsed — an empty report is only a clean bill of health when it is
+    nonzero (``repro lint`` warns explicitly on a glob matching nothing).
+    """
 
     findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
 
     def add(
         self,
@@ -98,6 +104,7 @@ class AnalysisReport:
 
     def extend(self, other: "AnalysisReport") -> "AnalysisReport":
         self.findings.extend(other.findings)
+        self.files_scanned += other.files_scanned
         return self
 
     @property

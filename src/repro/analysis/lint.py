@@ -45,14 +45,22 @@ linter does not know about:
   ``# repro: noqa[L308]``.
 
 Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
-``noqa[all]``) to the offending line.
+``noqa[all]``) to the offending line.  Suppressions are themselves
+checked: a noqa whose rule does not fire on its line — the rule was
+fixed, the code moved, or the id is a typo — is reported as **L399**
+(stale-noqa).  L399 cannot be suppressed; the only fix is removing or
+correcting the comment.  Only real ``#`` comments count: noqa-shaped
+text inside a string or docstring (like the examples in this very
+module) is extracted via :mod:`tokenize` and therefore ignored.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 
 from repro.analysis.findings import AnalysisReport, Finding, Location
 from repro.analysis.rules import get_rule
@@ -87,13 +95,25 @@ def _in_store_tree(filename: str) -> bool:
 
 
 def _noqa_rules(source: str) -> dict[int, set[str]]:
-    """Per-line suppressed rule ids from ``# repro: noqa[...]`` comments."""
+    """Per-line suppressed rule ids from ``# repro: noqa[...]`` comments.
+
+    Extracted from real COMMENT tokens only, so noqa-shaped text inside
+    a string literal or docstring neither suppresses anything nor trips
+    the L399 stale-suppression check.
+    """
     out: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if m:
-            out[lineno] = {r.strip().upper() if r.strip() != "all" else "ALL"
-                           for r in m.group(1).split(",") if r.strip()}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if m:
+                out[tok.start[0]] = {
+                    r.strip().upper() if r.strip() != "all" else "ALL"
+                    for r in m.group(1).split(",") if r.strip()
+                }
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unreachable after a successful ast.parse; belt and braces
     return out
 
 
@@ -362,6 +382,40 @@ def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
         if "ALL" in suppressed or f.rule in suppressed:
             continue
         kept.append(f)
+
+    # L399: every suppression must earn its keep.  Checked against the
+    # *raw* findings (before suppression), and appended after the
+    # suppression filter, so L399 itself can never be noqa'd away.
+    fired_by_line: dict[int, set[str]] = {}
+    for f in findings:
+        if f.location.line is not None:
+            fired_by_line.setdefault(f.location.line, set()).add(f.rule)
+    l399 = get_rule("L399")
+    for lineno in sorted(noqa):
+        fired = fired_by_line.get(lineno, set())
+        for rid in sorted(noqa[lineno]):
+            if rid == "ALL":
+                if fired:
+                    continue
+                msg = ("'# repro: noqa[all]' suppresses nothing: no lint "
+                       "rule fires on this line; remove the comment")
+            else:
+                try:
+                    get_rule(rid)
+                except KeyError:
+                    msg = (f"'# repro: noqa[{rid}]' names an unknown rule "
+                           f"{rid!r}; fix the id or remove the comment")
+                else:
+                    if rid in fired:
+                        continue
+                    msg = (f"'# repro: noqa[{rid}]' is stale: {rid} does "
+                           f"not fire on this line; remove the comment")
+            kept.append(Finding(
+                rule="L399",
+                severity=l399.severity,
+                location=Location(file=filename, line=lineno),
+                message=msg,
+            ))
     return kept
 
 
@@ -377,9 +431,12 @@ def lint_paths(paths: list[str]) -> AnalysisReport:
                     os.path.join(root, n) for n in sorted(names)
                     if n.endswith(".py")
                 )
-        else:
+        elif os.path.isfile(path):
             files.append(path)
+        # a path that exists as neither file nor directory matched
+        # nothing: the caller (repro lint) warns on files_scanned == 0
     for fname in files:
         with open(fname, encoding="utf-8") as fh:
             report.findings.extend(lint_source(fh.read(), filename=fname))
+    report.files_scanned = len(files)
     return report

@@ -1,0 +1,58 @@
+"""Protocol model checking for the distributed executor (M4xx rules).
+
+Three layers, consumed together by ``repro analyze --model-check``:
+
+* :mod:`~repro.analysis.protocol.model` — the declarative vocabulary
+  (messages, role state machines, budgets, disciplines);
+* :mod:`~repro.analysis.protocol.spec` — the executor's declared
+  protocol, the single source of truth;
+* :mod:`~repro.analysis.protocol.checker` — bounded exhaustive
+  exploration proving deadlock freedom, bounded queues, and recovery /
+  resume safety over small scopes, with reproducing traces;
+* :mod:`~repro.analysis.protocol.conformance` — the AST/docstring pass
+  pinning the model to the ``repro.dist`` call sites.
+"""
+
+from repro.analysis.protocol.checker import (
+    FaultSpec,
+    ModelCheckResult,
+    Scenario,
+    check_protocol,
+    default_scenarios,
+)
+from repro.analysis.protocol.conformance import (
+    Annotation,
+    CallSite,
+    check_protocol_conformance,
+)
+from repro.analysis.protocol.model import (
+    COORDINATOR_ROLE,
+    DATA_CHANNEL,
+    TELEMETRY_CHANNEL,
+    WORKER_ROLE,
+    MsgSpec,
+    ProtocolModel,
+    RoleMachine,
+    Transition,
+)
+from repro.analysis.protocol.spec import build_protocol_model
+
+__all__ = [
+    "Annotation",
+    "CallSite",
+    "COORDINATOR_ROLE",
+    "DATA_CHANNEL",
+    "FaultSpec",
+    "ModelCheckResult",
+    "MsgSpec",
+    "ProtocolModel",
+    "RoleMachine",
+    "Scenario",
+    "TELEMETRY_CHANNEL",
+    "Transition",
+    "WORKER_ROLE",
+    "build_protocol_model",
+    "check_protocol",
+    "check_protocol_conformance",
+    "default_scenarios",
+]

@@ -1,0 +1,225 @@
+"""AST conformance: pin the declared protocol model to the code.
+
+A declared protocol model is only worth its proofs if it matches the
+implementation.  This pass closes that loop statically:
+
+1. every ``send``/``recv`` call site on a comm endpoint in
+   :mod:`repro.dist` is extracted from the AST (``.send(...)``,
+   ``.recv(...)``, ``.send_telemetry(...)``, ``.recv_telemetry(...)``);
+2. every *protocol annotation* is extracted from docstrings — one line
+   per message, anywhere in a module/class/function docstring::
+
+       Protocol:
+           recv scatter: coordinator -> worker [data]
+           send done: worker -> coordinator [data]
+
+   An annotation covers every call site lexically inside its scope
+   (function docstrings cover the function, class docstrings the class,
+   module docstrings the file).
+3. the two are cross-checked against the model:
+
+   * **M410** — an annotation names a message the model does not
+     declare, or disagrees with its declared roles/channel;
+   * **M411** — the model declares a message that no annotated send
+     site (or no annotated recv site) implements: the model has drifted
+     ahead of the code;
+   * **M412** — a send/recv call site has no covering annotation of the
+     same direction and channel: the pass cannot tie it to the model.
+
+Annotations are prose-adjacent on purpose: they live in the docstrings
+a reader already consults, and the grammar is a single line per message,
+so keeping them honest is cheap — and M410/M412 make forgetting them
+loud.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.protocol.model import ProtocolModel
+
+#: The endpoint methods that constitute protocol traffic.  Method name
+#: determines direction and channel: the ``*_telemetry`` pair rides the
+#: out-of-band queue, everything else the data links.
+_SITE_METHODS = {
+    "send": ("send", "data"),
+    "recv": ("recv", "data"),
+    "send_telemetry": ("send", "telemetry"),
+    "recv_telemetry": ("recv", "telemetry"),
+}
+
+#: One annotation line: ``send done: worker -> coordinator [data]``.
+_ANNOTATION_RE = re.compile(
+    r"^\s*(send|recv)\s+([a-z_][a-z0-9_]*)\s*:\s*"
+    r"([a-z_][a-z0-9_]*)\s*->\s*([a-z_][a-z0-9_]*)\s*"
+    r"\[([a-z_][a-z0-9_]*)\]\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One ``Protocol:`` docstring line, resolved to its scope."""
+
+    direction: str  # send | recv
+    message: str
+    src: str
+    dst: str
+    channel: str
+    line: int  # best-effort line of the annotation text
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One endpoint send/recv call extracted from the AST."""
+
+    direction: str  # send | recv
+    channel: str  # data | telemetry
+    line: int
+    scope: str  # dotted enclosing scope, e.g. "worker_main"
+
+
+def _docstring_annotations(node: ast.AST) -> list[Annotation]:
+    doc = ast.get_docstring(node, clean=True)
+    if not doc:
+        return []
+    base = node.body[0].lineno if getattr(node, "body", None) else 1
+    out = []
+    for i, line in enumerate(doc.splitlines()):
+        m = _ANNOTATION_RE.match(line)
+        if m:
+            out.append(Annotation(
+                direction=m.group(1), message=m.group(2), src=m.group(3),
+                dst=m.group(4), channel=m.group(5), line=base + i,
+            ))
+    return out
+
+
+class _Extractor(ast.NodeVisitor):
+    """Collect call sites and scoped annotations from one module."""
+
+    def __init__(self):
+        #: annotation stack: one list per open scope
+        self._stack: list[list[Annotation]] = []
+        self._names: list[str] = []
+        self.annotations: list[Annotation] = []
+        #: (site, covering annotations innermost-first)
+        self.sites: list[tuple[CallSite, list[Annotation]]] = []
+
+    def extract(self, tree: ast.Module):
+        anns = _docstring_annotations(tree)
+        self.annotations.extend(anns)
+        self._stack.append(anns)
+        self.generic_visit(tree)
+        self._stack.pop()
+
+    def _scoped(self, node: ast.AST):
+        anns = _docstring_annotations(node)
+        self.annotations.extend(anns)
+        self._stack.append(anns)
+        self._names.append(getattr(node, "name", "?"))
+        self.generic_visit(node)
+        self._names.pop()
+        self._stack.pop()
+
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+    visit_ClassDef = _scoped
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SITE_METHODS:
+            direction, channel = _SITE_METHODS[func.attr]
+            site = CallSite(
+                direction=direction, channel=channel, line=node.lineno,
+                scope=".".join(self._names) or "<module>",
+            )
+            covering = [a for scope in self._stack for a in scope]
+            self.sites.append((site, covering))
+        self.generic_visit(node)
+
+
+def _default_paths() -> list[Path]:
+    import repro.dist as dist
+
+    return sorted(Path(dist.__file__).parent.glob("*.py"))
+
+
+def check_protocol_conformance(
+    model: ProtocolModel,
+    paths: list[Path] | None = None,
+    report: AnalysisReport | None = None,
+) -> AnalysisReport:
+    """Cross-check ``repro.dist`` call sites and annotations vs ``model``."""
+    if report is None:
+        report = AnalysisReport()
+    if paths is None:
+        paths = _default_paths()
+
+    implemented: dict[tuple[str, str], int] = {}  # (direction, message) -> count
+    for path in paths:
+        fname = str(path)
+        try:
+            source = Path(path).read_text()
+            tree = ast.parse(source, filename=fname)
+        except (OSError, SyntaxError) as exc:
+            report.add("L300", f"cannot parse {fname}: {exc}", file=fname)
+            continue
+        report.files_scanned += 1
+        ex = _Extractor()
+        ex.extract(tree)
+
+        for ann in ex.annotations:
+            spec = model.message(ann.message)
+            if spec is None:
+                report.add(
+                    "M410",
+                    f"protocol annotation names message {ann.message!r} "
+                    f"which the model does not declare",
+                    file=fname, line=ann.line,
+                )
+                continue
+            if (ann.src, ann.dst, ann.channel) != (spec.src, spec.dst,
+                                                   spec.channel):
+                report.add(
+                    "M410",
+                    f"annotation for {ann.message!r} declares "
+                    f"{ann.src} -> {ann.dst} [{ann.channel}] but the model "
+                    f"declares {spec.src} -> {spec.dst} [{spec.channel}]",
+                    file=fname, line=ann.line,
+                )
+                continue
+            key = (ann.direction, ann.message)
+            implemented[key] = implemented.get(key, 0) + 1
+
+        for site, covering in ex.sites:
+            matches = [
+                a for a in covering
+                if a.direction == site.direction and a.channel == site.channel
+                and model.message(a.message) is not None
+            ]
+            if not matches:
+                report.add(
+                    "M412",
+                    f"{site.direction} call on the {site.channel} channel "
+                    f"has no covering "
+                    f"'{site.direction} <msg>: <src> -> <dst> "
+                    f"[{site.channel}]' protocol annotation in its "
+                    f"enclosing docstrings",
+                    file=fname, line=site.line, obj=site.scope,
+                )
+
+    for spec in model.messages:
+        for direction, role in (("send", spec.src), ("recv", spec.dst)):
+            if (direction, spec.name) not in implemented:
+                report.add(
+                    "M411",
+                    f"model declares message {spec.name!r} "
+                    f"({spec.src} -> {spec.dst} [{spec.channel}]) but no "
+                    f"annotated {direction} site implements it: the model "
+                    f"has drifted ahead of the code",
+                )
+    return report

@@ -1,0 +1,180 @@
+"""Machine-readable protocol models: roles, messages, state machines.
+
+The distributed executor's correctness rests on a message protocol
+between the coordinator and its workers (scatter, report, heartbeat) and
+on two ordering disciplines layered on top of it (the retry->reassign
+recovery path and the store-before-journal checkpoint rule).  This
+module gives that protocol an explicit, declarative representation that
+three consumers share:
+
+* :mod:`repro.analysis.protocol.spec` *instantiates* it — the one true
+  model of the executor as shipped;
+* :mod:`repro.analysis.protocol.checker` *explores* it — a bounded
+  exhaustive state-space search proving deadlock freedom, bounded
+  queues, and recovery safety over small scopes (1-3 ranks x the
+  kill/stall/abort fault kinds);
+* :mod:`repro.analysis.protocol.conformance` *pins* it to the code — an
+  AST pass that extracts every ``send``/``recv`` site in
+  :mod:`repro.dist` and cross-checks it against the declared alphabet,
+  so the model cannot silently drift from the implementation.
+
+Everything here is a frozen dataclass over plain strings and ints, so a
+test (or a deliberate mutation) can build a broken variant with
+:meth:`ProtocolModel.without` and watch the checker catch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Role names used throughout the model.
+COORDINATOR_ROLE = "coordinator"
+WORKER_ROLE = "worker"
+
+#: The two physical channels of :class:`repro.dist.comm.CommLayer`:
+#: ``data`` (inboxes + gather queue) and the out-of-band ``telemetry``
+#: queue heartbeats ride so they can never delay control messages.
+DATA_CHANNEL = "data"
+TELEMETRY_CHANNEL = "telemetry"
+
+
+@dataclass(frozen=True)
+class MsgSpec:
+    """One message type of the wire alphabet.
+
+    Attributes
+    ----------
+    name:
+        Stable lowercase identifier (``scatter``, ``done``, ...): the
+        vocabulary docstring annotations and counterexample traces use.
+    src / dst:
+        Sending and receiving roles.
+    channel:
+        ``data`` or ``telemetry`` — which physical queue carries it.
+    nbytes:
+        Nominal pickled size used by the queue-budget check (the model
+        proves *boundedness*, not exact sizes, so a representative
+        constant per type is enough).
+    """
+
+    name: str
+    src: str
+    dst: str
+    channel: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of a role's state machine.
+
+    ``event`` is a structured label:
+
+    * ``recv:<msg>`` — consume message ``<msg>`` from the head of one of
+      the role's queues; the ``:stale`` suffix variant handles the same
+      message arriving from a superseded attempt (or for an already
+      complete rank), which the protocol must *discard*, never act on;
+    * ``act:<what>`` — an internal step (``work``, ``report``, ...);
+    * ``fault:<kind>`` — an injected fault firing (``kill``, ``stall``,
+      ``abort``);
+    * ``obs:<what>`` — a coordinator observation of the outside world
+      (a dead worker's exit code, a missed-heartbeat stall, ...).
+
+    ``sends`` names the messages emitted atomically with the step, and
+    ``action`` is the semantic effect the checker interprets
+    (``complete_rank``, ``recover_rank``, ``discard``, ...).
+    """
+
+    state: str
+    event: str
+    next_state: str
+    sends: tuple[str, ...] = ()
+    action: str = ""
+
+
+@dataclass(frozen=True)
+class RoleMachine:
+    """One role's state machine: an initial state plus transitions."""
+
+    role: str
+    initial: str
+    transitions: tuple[Transition, ...]
+
+    def on(self, state: str, event: str) -> Transition | None:
+        """The transition for ``event`` in ``state`` (None = unhandled)."""
+        for tr in self.transitions:
+            if tr.state == state and tr.event == event:
+                return tr
+        return None
+
+    def states(self) -> set[str]:
+        out = {self.initial}
+        for tr in self.transitions:
+            out.add(tr.state)
+            out.add(tr.next_state)
+        return out
+
+    def without(self, state: str, event: str) -> "RoleMachine":
+        """A copy lacking one transition (the mutation-testing hook)."""
+        kept = tuple(
+            tr for tr in self.transitions
+            if not (tr.state == state and tr.event == event)
+        )
+        if len(kept) == len(self.transitions):
+            raise KeyError(f"{self.role} has no transition ({state!r}, {event!r})")
+        return replace(self, transitions=kept)
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """The complete declared protocol the checker explores.
+
+    Attributes
+    ----------
+    messages:
+        The wire alphabet (see :class:`MsgSpec`).
+    machines:
+        One :class:`RoleMachine` per role, keyed by role name.
+    queue_budgets:
+        Byte budgets per queue kind (``inbox``, ``gather``,
+        ``telemetry``): the in-flight bound the M404 check enforces.
+    work_units:
+        Abstract work units (blocks) per rank in the small-scope model.
+    max_retries:
+        Retries granted per rank before reassignment (the executor
+        default is one).
+    allow_reassign:
+        Whether a twice-failed rank falls through to the coordinator's
+        inline spare worker.
+    max_extra_beats:
+        Heartbeats a running worker may emit beyond the mandatory
+        "worker up" beat (bounds the telemetry interleavings).
+    journal_after_store:
+        The checkpoint crash-consistency discipline: C tiles land in
+        the store *before* the journal line.  ``False`` models the
+        broken ordering — the checker proves it unsafe (M406).
+    """
+
+    messages: tuple[MsgSpec, ...]
+    machines: dict[str, RoleMachine]
+    queue_budgets: dict[str, int]
+    work_units: int = 2
+    max_retries: int = 1
+    allow_reassign: bool = True
+    max_extra_beats: int = 1
+    journal_after_store: bool = True
+
+    def message(self, name: str) -> MsgSpec | None:
+        for m in self.messages:
+            if m.name == name:
+                return m
+        return None
+
+    def machine(self, role: str) -> RoleMachine:
+        return self.machines[role]
+
+    def without(self, role: str, state: str, event: str) -> "ProtocolModel":
+        """A copy whose ``role`` machine lacks one transition."""
+        machines = dict(self.machines)
+        machines[role] = machines[role].without(state, event)
+        return replace(self, machines=machines)

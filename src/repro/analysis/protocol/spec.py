@@ -1,0 +1,166 @@
+"""The declared protocol of the shipped distributed executor.
+
+This is the one place the coordinator/worker message protocol is written
+down as data: the wire alphabet (the typed messages of
+:mod:`repro.dist.comm` / :mod:`repro.dist.worker` /
+:mod:`repro.dist.health`), the two role state machines, the comm-layer
+queue budgets, and the recovery / checkpoint disciplines.  The model
+checker (:mod:`repro.analysis.protocol.checker`) explores exactly this
+model; the conformance pass
+(:mod:`repro.analysis.protocol.conformance`) pins it to the code.
+
+Reading guide, message by message (the names match the docstring
+``Protocol:`` annotations in ``src/repro/dist/``):
+
+* ``scatter`` — coordinator -> worker, data channel.  The
+  :class:`~repro.dist.worker.ScatterMsg` carrying one rank's
+  :class:`~repro.core.plan.ProcPlan`, arena metadata, fault injection,
+  and checkpoint restore list.  One per (rank, attempt).
+* ``done`` — worker -> coordinator, data channel.  The
+  :class:`~repro.dist.worker.WorkerReport` ending a successful attempt.
+* ``error`` — worker -> coordinator, data channel.  A formatted
+  traceback from a worker whose attempt raised.
+* ``heartbeat`` — worker -> coordinator, telemetry channel.  The
+  :class:`~repro.dist.health.HeartbeatMsg` liveness beat; rides the
+  out-of-band queue so it can never delay or reorder control traffic.
+
+Stale variants (``recv:<msg>:stale``) cover traffic from superseded
+attempts — a terminated worker's late heartbeat, a report that raced
+the patrol's grace window — which the coordinator must *discard*: acting
+on a stale report would credit a half-written C arena.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protocol.model import (
+    COORDINATOR_ROLE,
+    DATA_CHANNEL,
+    TELEMETRY_CHANNEL,
+    WORKER_ROLE,
+    MsgSpec,
+    ProtocolModel,
+    RoleMachine,
+    Transition,
+)
+
+#: Nominal pickled sizes per message type (representative, not exact:
+#: the budget check proves in-flight boundedness, not byte accounting —
+#: that is :class:`repro.dist.comm.CommStats`'s job at runtime).
+SCATTER_NBYTES = 4096
+DONE_NBYTES = 2048
+ERROR_NBYTES = 512
+HEARTBEAT_NBYTES = 256
+
+#: Queue byte budgets the model proves are never exceeded.  Sized for
+#: the small scope (<= 3 ranks, <= 2 attempts + reassign, bounded
+#: beats); a model change that lets traffic accumulate without bound
+#: trips M404 long before these numbers matter.
+QUEUE_BUDGETS = {
+    "inbox": SCATTER_NBYTES,           # at most one un-consumed scatter
+    "gather": 8 * DONE_NBYTES,         # reports + stale retries
+    "telemetry": 24 * HEARTBEAT_NBYTES,
+}
+
+
+def build_messages() -> tuple[MsgSpec, ...]:
+    return (
+        MsgSpec("scatter", COORDINATOR_ROLE, WORKER_ROLE, DATA_CHANNEL,
+                SCATTER_NBYTES),
+        MsgSpec("done", WORKER_ROLE, COORDINATOR_ROLE, DATA_CHANNEL,
+                DONE_NBYTES),
+        MsgSpec("error", WORKER_ROLE, COORDINATOR_ROLE, DATA_CHANNEL,
+                ERROR_NBYTES),
+        MsgSpec("heartbeat", WORKER_ROLE, COORDINATOR_ROLE,
+                TELEMETRY_CHANNEL, HEARTBEAT_NBYTES),
+    )
+
+
+def build_worker_machine() -> RoleMachine:
+    """The per-rank worker: one scatter in, one report (or silence) out.
+
+    ``idle`` is a freshly spawned process blocking on its inbox.  The
+    scatter moves it to ``running`` and emits the mandatory "worker up"
+    heartbeat (seq 0).  Work proceeds unit by unit; under checkpointing
+    each unit commits via ``act:store`` *then* ``act:journal`` (the
+    crash-consistency order M406 defends).  The three fault excursions
+    mirror :class:`repro.dist.faults.FaultInjection`: ``kill`` exits
+    silently, ``abort`` exits with the reserved code, ``stall`` goes
+    dark (heartbeats stop, process alive).  ``act:raise`` is the
+    unplanned-exception path of ``worker_main`` — traceback shipped as
+    an ``error`` message, then a clean exit.
+    """
+    t = [
+        Transition("idle", "recv:scatter", "running",
+                   sends=("heartbeat",), action="attach_and_restore"),
+        Transition("running", "act:work", "running", action="compute_unit"),
+        Transition("running", "act:store", "running", action="store_unit"),
+        Transition("running", "act:journal", "running", action="journal_unit"),
+        Transition("running", "act:beat", "running", sends=("heartbeat",)),
+        Transition("running", "act:report", "exited_done", sends=("done",)),
+        Transition("running", "act:raise", "exited_err", sends=("error",)),
+        Transition("running", "fault:kill", "exited_silent"),
+        Transition("running", "fault:abort", "exited_abort"),
+        Transition("running", "fault:stall", "stalled"),
+    ]
+    return RoleMachine(WORKER_ROLE, "idle", tuple(t))
+
+
+def build_coordinator_machine() -> RoleMachine:
+    """The coordinator: scatter, supervise, recover, drain, reduce.
+
+    ``supervising`` is the gather loop of
+    :func:`repro.dist.coordinator.execute_plan_distributed`; the
+    ``obs:*`` events are its patrol — a dead worker's exit code, the
+    missed-heartbeat stall detector, the reserved abort exit code.  All
+    three failure signals funnel into the single ``recover_rank``
+    action (terminate, retry once, then reassign inline), exactly like
+    the code's ``on_failure``.  Once every rank is complete the
+    coordinator drains residual telemetry (``draining``) and terminates
+    in ``done``; ``aborted`` and ``failed`` are the unrecoverable
+    terminals.
+    """
+    t = [
+        Transition("supervising", "recv:done", "supervising",
+                   action="complete_rank"),
+        Transition("supervising", "recv:done:stale", "supervising",
+                   action="discard"),
+        Transition("supervising", "recv:error", "supervising",
+                   action="recover_rank"),
+        Transition("supervising", "recv:error:stale", "supervising",
+                   action="discard"),
+        Transition("supervising", "recv:heartbeat", "supervising",
+                   action="fold_health"),
+        Transition("supervising", "recv:heartbeat:stale", "supervising",
+                   action="discard"),
+        Transition("supervising", "obs:worker_exit", "supervising",
+                   action="recover_rank"),
+        Transition("supervising", "obs:stall", "supervising",
+                   action="recover_rank"),
+        Transition("supervising", "obs:abort", "aborted",
+                   action="abort_run"),
+        Transition("supervising", "obs:all_done", "draining"),
+        Transition("draining", "recv:heartbeat", "draining",
+                   action="fold_health"),
+        Transition("draining", "recv:heartbeat:stale", "draining",
+                   action="discard"),
+        Transition("draining", "obs:drained", "done"),
+    ]
+    return RoleMachine(COORDINATOR_ROLE, "supervising", tuple(t))
+
+
+def build_protocol_model() -> ProtocolModel:
+    """The executor's declared protocol (the model `repro analyze
+    --model-check` explores and the conformance pass pins to the code)."""
+    return ProtocolModel(
+        messages=build_messages(),
+        machines={
+            WORKER_ROLE: build_worker_machine(),
+            COORDINATOR_ROLE: build_coordinator_machine(),
+        },
+        queue_budgets=dict(QUEUE_BUDGETS),
+        work_units=2,
+        max_retries=1,
+        allow_reassign=True,
+        max_extra_beats=1,
+        journal_after_store=True,
+    )

@@ -5,11 +5,17 @@ Rule ids are stable, grep-able, and grouped by layer:
 * ``P1xx`` — plan verifier (:mod:`repro.analysis.plan_checks`) and
   store/checkpoint pre-flight (:mod:`repro.analysis.store_checks`);
 * ``D2xx`` — task-graph checks (:mod:`repro.analysis.dag_checks`);
-* ``L3xx`` — AST concurrency lint (:mod:`repro.analysis.lint`).
+* ``L3xx`` — AST concurrency lint (:mod:`repro.analysis.lint`);
+* ``M4xx`` — protocol model checker (:mod:`repro.analysis.protocol`):
+  bounded exhaustive exploration of the coordinator/worker message
+  protocol plus the AST/docstring conformance pass that pins the model
+  to the code in :mod:`repro.dist`.
 
 Lint findings may be suppressed per line with ``# repro: noqa[RULE]``
-(comma-separate several ids, or ``noqa[all]``); the structural P/D rules
-are never suppressible — a plan that violates them is wrong, not noisy.
+(comma-separate several ids, or ``noqa[all]``); the structural P/D/M
+rules are never suppressible — a plan or protocol that violates them is
+wrong, not noisy.  A suppression whose rule never fires on its line is
+itself a finding (``L399``), so stale noqa comments cannot accumulate.
 """
 
 from __future__ import annotations
@@ -161,3 +167,53 @@ register(Rule("L308", "unmanaged-file-handle", W,
               "(and can leave an unflushed journal/store object behind a "
               "crash); a deliberately long-lived handle is suppressed with "
               "# repro: noqa[L308]"))
+register(Rule("L399", "stale-noqa", W,
+              "a '# repro: noqa[RULE]' suppression whose rule does not fire "
+              "on that line (or that names an unknown rule): stale "
+              "suppressions hide future regressions and rot silently; the "
+              "only fix is removing or correcting the comment — L399 is "
+              "itself never suppressible"))
+
+# ---- M4xx: protocol model checker ------------------------------------------
+
+register(Rule("M401", "protocol-deadlock", E,
+              "the protocol model reaches a state where no coordinator or "
+              "worker transition is enabled and the run is not terminal "
+              "(the distributed run would hang forever)"))
+register(Rule("M402", "protocol-unhandled-message", E,
+              "a role's state machine has no transition for a message that "
+              "can arrive at the head of its queue in a reachable state "
+              "(the real receiver would raise or wedge on it)"))
+register(Rule("M403", "protocol-orphaned-send", E,
+              "a message from a rank's live attempt is still queued when "
+              "the run completes cleanly: it was sent but can never be "
+              "consumed (only superseded-attempt traffic may be discarded "
+              "at teardown)"))
+register(Rule("M404", "protocol-queue-overflow", E,
+              "a reachable state pushes a comm-layer queue past its "
+              "declared byte budget (the fabric's in-flight traffic is "
+              "unbounded under some interleaving)"))
+register(Rule("M405", "protocol-lost-work", E,
+              "a fault schedule the retry->reassign recovery (or the "
+              "checkpoint resume path) is specified to survive ends in a "
+              "failed run, or completes with a rank's work missing or "
+              "double-credited"))
+register(Rule("M406", "protocol-journal-order", E,
+              "the checkpoint path can journal a block before its C tiles "
+              "are durably in the store (a crash between the two leaves a "
+              "journal record promising tiles that do not exist); tiles "
+              "must land in the store before the journal line is appended"))
+register(Rule("M410", "protocol-undeclared-message", E,
+              "a send/recv site or docstring protocol annotation in "
+              "repro.dist references a message the protocol model does not "
+              "declare, or disagrees with the model's source/destination "
+              "roles or channel"))
+register(Rule("M411", "protocol-unimplemented-edge", W,
+              "the protocol model declares a message that no annotated "
+              "send site (or no annotated recv site) in repro.dist "
+              "implements: the model has drifted ahead of the code"))
+register(Rule("M412", "protocol-unannotated-site", W,
+              "a send/recv call site in repro.dist has no covering "
+              "'send/recv <msg>: <src> -> <dst> [channel]' protocol "
+              "annotation in its enclosing function, class, or module "
+              "docstring: the conformance pass cannot tie it to the model"))

@@ -1,0 +1,204 @@
+"""SARIF 2.1.0 export for analysis reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+the lingua franca of code-scanning UIs: GitHub code scanning, VS Code's
+SARIF viewer, and most CI dashboards ingest it natively.  This module
+maps an :class:`~repro.analysis.findings.AnalysisReport` onto a single
+SARIF *run*:
+
+* every distinct rule that fired becomes a ``tool.driver.rules`` entry
+  (id, short description, help text from the registry);
+* every :class:`~repro.analysis.findings.Finding` becomes a ``results``
+  entry — severity mapped to ``error``/``warning``/``note``, file/line
+  to a ``physicalLocation``, and the structural path (plan coordinates,
+  protocol scenario) to a ``logicalLocations`` entry, so findings with
+  no source position (plan verifier, model checker) still render.
+
+:func:`validate_sarif` is a deliberately self-contained structural
+check of the subset this exporter emits (CI images carry no
+``jsonschema`` and must not fetch the 300 kB schema over the network);
+it is strict about everything GitHub's ingester rejects: missing
+required properties, wrong types, unknown severity levels, and rule
+index/id mismatches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.rules import get_rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analyze"
+TOOL_URI = "https://github.com/repro/repro"
+
+#: Severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    res: dict = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    loc: dict = {}
+    if finding.location.file is not None:
+        phys: dict = {
+            "artifactLocation": {"uri": finding.location.file},
+        }
+        if finding.location.line is not None:
+            phys["region"] = {"startLine": finding.location.line}
+        loc["physicalLocation"] = phys
+    if finding.location.obj is not None:
+        loc["logicalLocations"] = [
+            {"fullyQualifiedName": finding.location.obj}
+        ]
+    if loc:
+        res["locations"] = [loc]
+    return res
+
+
+def to_sarif(report: AnalysisReport, *, tool_name: str = TOOL_NAME) -> dict:
+    """Render ``report`` as a SARIF 2.1.0 document (a plain dict)."""
+    fired = sorted(report.rules_fired())
+    rule_index = {rid: i for i, rid in enumerate(fired)}
+    rules = []
+    for rid in fired:
+        rule = get_rule(rid)
+        rules.append({
+            "id": rule.id,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": TOOL_URI,
+                    "rules": rules,
+                }
+            },
+            "results": [_result(f, rule_index) for f in report.findings],
+        }],
+    }
+
+
+def write_sarif(report: AnalysisReport, path: str | Path, *,
+                tool_name: str = TOOL_NAME) -> Path:
+    """Serialize ``report`` as SARIF to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_sarif(report, tool_name=tool_name)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+class SarifValidationError(ValueError):
+    """A SARIF document violates the 2.1.0 structure this tool emits."""
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise SarifValidationError(msg)
+
+
+def validate_sarif(doc: dict) -> None:
+    """Structurally validate the SARIF 2.1.0 subset this exporter emits.
+
+    Raises :class:`SarifValidationError` on the first violation.  This
+    is not a full JSON-Schema engine — it checks every property the
+    GitHub code-scanning ingester requires plus internal consistency
+    (ruleIndex agreement, known levels, int line numbers).
+    """
+    _require(isinstance(doc, dict), "document must be an object")
+    _require(doc.get("version") == SARIF_VERSION,
+             f"version must be {SARIF_VERSION!r}")
+    _require(isinstance(doc.get("$schema"), str)
+             and "sarif-schema-2.1.0" in doc["$schema"],
+             "$schema must point at the 2.1.0 schema")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and len(runs) >= 1,
+             "runs must be a non-empty array")
+    for ri, run in enumerate(runs):
+        _require(isinstance(run, dict), f"runs[{ri}] must be an object")
+        driver = run.get("tool", {}).get("driver")
+        _require(isinstance(driver, dict),
+                 f"runs[{ri}].tool.driver must be an object")
+        _require(isinstance(driver.get("name"), str) and driver["name"],
+                 f"runs[{ri}].tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        _require(isinstance(rules, list),
+                 f"runs[{ri}].tool.driver.rules must be an array")
+        rule_ids = []
+        for qi, rule in enumerate(rules):
+            _require(isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                     f"runs[{ri}].rules[{qi}].id must be a string")
+            _require(
+                isinstance(rule.get("shortDescription", {}).get("text"), str),
+                f"runs[{ri}].rules[{qi}].shortDescription.text required")
+            rule_ids.append(rule["id"])
+        _require(len(set(rule_ids)) == len(rule_ids),
+                 f"runs[{ri}] has duplicate rule ids")
+        results = run.get("results")
+        _require(isinstance(results, list),
+                 f"runs[{ri}].results must be an array")
+        for si, res in enumerate(results):
+            where = f"runs[{ri}].results[{si}]"
+            _require(isinstance(res, dict), f"{where} must be an object")
+            _require(isinstance(res.get("message", {}).get("text"), str),
+                     f"{where}.message.text required")
+            _require(res.get("level") in ("error", "warning", "note", "none"),
+                     f"{where}.level must be a SARIF level")
+            rid = res.get("ruleId")
+            _require(isinstance(rid, str) and rid, f"{where}.ruleId required")
+            idx = res.get("ruleIndex")
+            if idx is not None:
+                _require(isinstance(idx, int) and 0 <= idx < len(rule_ids),
+                         f"{where}.ruleIndex out of range")
+                _require(rule_ids[idx] == rid,
+                         f"{where}.ruleIndex does not point at {rid!r}")
+            for li, loc in enumerate(res.get("locations", [])):
+                lwhere = f"{where}.locations[{li}]"
+                _require(isinstance(loc, dict), f"{lwhere} must be an object")
+                phys = loc.get("physicalLocation")
+                if phys is not None:
+                    uri = phys.get("artifactLocation", {}).get("uri")
+                    _require(isinstance(uri, str) and uri,
+                             f"{lwhere}.physicalLocation.artifactLocation.uri "
+                             f"required")
+                    region = phys.get("region")
+                    if region is not None:
+                        _require(
+                            isinstance(region.get("startLine"), int)
+                            and region["startLine"] >= 1,
+                            f"{lwhere}.region.startLine must be an int >= 1")
+                for gi, logical in enumerate(loc.get("logicalLocations", [])):
+                    _require(
+                        isinstance(logical.get("fullyQualifiedName"), str),
+                        f"{lwhere}.logicalLocations[{gi}]"
+                        f".fullyQualifiedName required")
+
+
+def validate_sarif_file(path: str | Path) -> dict:
+    """Load and validate a SARIF file; returns the parsed document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_sarif(doc)
+    return doc

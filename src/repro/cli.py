@@ -361,7 +361,26 @@ def _cmd_analyze(args) -> int:
         ))
     print(f"analyzed plan: {plan.grid.nprocs} rank(s), "
           f"{sum(len(pp.blocks) for pp in plan.procs)} block(s)")
+    if args.model_check:
+        from repro.analysis import (
+            build_protocol_model,
+            check_protocol,
+            check_protocol_conformance,
+            default_scenarios,
+        )
+
+        model = build_protocol_model()
+        result = check_protocol(
+            model, default_scenarios(max_ranks=args.max_ranks)
+        )
+        print(result.summary())
+        report.extend(result.report)
+        report.extend(check_protocol_conformance(model))
     print(report.render())
+    if args.sarif:
+        from repro.analysis import write_sarif
+
+        print(f"sarif: {write_sarif(report, args.sarif)}")
     return report.exit_code()
 
 
@@ -373,8 +392,39 @@ def _cmd_lint(args) -> int:
 
     paths = args.paths or [os.path.dirname(repro.__file__)]
     report = lint_paths(paths)
+    if report.files_scanned == 0:
+        # An empty match is almost always a typo'd path or glob; succeed
+        # (nothing is wrong with the code) but never silently.
+        print(f"warning: no files matched {' '.join(paths)!s}; "
+              f"nothing was linted")
     print(report.render())
+    if args.sarif:
+        from repro.analysis import write_sarif
+
+        print(f"sarif: {write_sarif(report, args.sarif, tool_name='repro-lint')}")
     return report.exit_code()
+
+
+def _cmd_rules(args) -> int:
+    from repro.analysis import (
+        check_rule_catalog,
+        rule_catalog_markdown,
+        write_rule_catalog,
+    )
+
+    if args.check:
+        if check_rule_catalog(args.check):
+            print(f"{args.check} is up to date with the rule registry")
+            return 0
+        print(f"{args.check} has drifted from the rule registry; "
+              f"regenerate with: make docs-rules")
+        return 1
+    if args.output:
+        path = write_rule_catalog(args.output)
+        print(f"wrote {path}")
+        return 0
+    print(rule_catalog_markdown(), end="")
+    return 0
 
 
 def _cmd_export(args) -> int:
@@ -511,6 +561,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also pre-flight the tile store at DIR (P122)")
     an.add_argument("--store-budget", type=int, metavar="BYTES",
                     help="GC budget assumed for the store pre-flight")
+    an.add_argument("--model-check", action="store_true",
+                    help="also model-check the distributed executor protocol "
+                         "(bounded exhaustive exploration, M4xx rules) and "
+                         "run the dist-tree conformance pass")
+    an.add_argument("--max-ranks", type=int, default=2,
+                    help="largest rank count the model check explores "
+                         "(default 2; 3 is exhaustive but slower)")
+    an.add_argument("--sarif", metavar="PATH",
+                    help="also write the findings as SARIF 2.1.0 to PATH")
     an.set_defaults(func=_cmd_analyze)
 
     so = sub.add_parser(
@@ -535,7 +594,21 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("paths", nargs="*",
                     help="files or directories to lint (default: the installed "
                          "repro package tree)")
+    li.add_argument("--sarif", metavar="PATH",
+                    help="also write the findings as SARIF 2.1.0 to PATH")
     li.set_defaults(func=_cmd_lint)
+
+    ru = sub.add_parser(
+        "rules",
+        help="the analysis rule catalog, generated from the registry",
+    )
+    ru.add_argument("-o", "--output", metavar="PATH",
+                    help="write the Markdown catalog to PATH "
+                         "(default: print to stdout)")
+    ru.add_argument("--check", metavar="PATH",
+                    help="exit 1 if the committed catalog at PATH drifts "
+                         "from the registry (CI drift gate)")
+    ru.set_defaults(func=_cmd_rules)
 
     ex = sub.add_parser("export", help="dump all experiment data as JSON")
     ex.add_argument("-o", "--output", default="results.json")

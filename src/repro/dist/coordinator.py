@@ -295,6 +295,18 @@ def execute_plan_distributed(
     directory whose snapshot records a *different plan* is refused up
     front (the P121 analysis rule makes the same check statically);
     ``store_budget_bytes`` bounds the store on disk via LRU GC.
+
+    Protocol:
+        recv done: worker -> coordinator [data]
+        recv error: worker -> coordinator [data]
+
+    Both reports carry the attempt number they belong to; the supervise
+    loop discards any report from a superseded attempt (a retry raced
+    the patrol's grace window) — acting on one would credit a
+    half-written C arena or recover a rank twice.  The full protocol is
+    declared as a checkable model in
+    :mod:`repro.analysis.protocol.spec`; ``repro analyze --model-check``
+    explores it exhaustively over small scopes.
     """
     if verify_plan:
         from repro.analysis import assert_plan_valid  # late import: avoid cycle
@@ -428,6 +440,11 @@ def execute_plan_distributed(
             )
 
         def scatter(rank: int, attempt: int) -> None:
+            """Ship one rank's plan, arenas, and restore list.
+
+            Protocol:
+                send scatter: coordinator -> worker [data]
+            """
             c_arenas[rank] = make_c_arena(rank, attempt)
             inj = fault_plan.for_rank(rank) if fault_plan is not None else None
             if inj is not None and not inj.armed(attempt):
@@ -584,7 +601,11 @@ def execute_plan_distributed(
                 )
 
         def drain_telemetry() -> None:
-            """Fold every queued heartbeat into the live health picture."""
+            """Fold every queued heartbeat into the live health picture.
+
+            Protocol:
+                recv heartbeat: worker -> coordinator [telemetry]
+            """
             while True:
                 try:
                     src, hb, nbytes = coord.recv_telemetry()
@@ -700,7 +721,11 @@ def execute_plan_distributed(
             kind, rank = msg[0], msg[1]
             comm_stats.absorb({(rank, COORDINATOR): nbytes}, {(rank, COORDINATOR): 1})
             if kind == "done":
-                if rank in pending:
+                # Accept only the live attempt's report: a stale one from a
+                # superseded attempt (its worker lost the race against the
+                # patrol's grace window) points at a retired C arena — the
+                # protocol model's recv:done:stale -> discard edge.
+                if rank in pending and msg[2].attempt == attempts[rank] - 1:
                     reports[rank] = msg[2]
                     pending.discard(rank)
                     suspects.pop(rank, None)
@@ -714,9 +739,21 @@ def execute_plan_distributed(
                         "rank_done", rank=rank, attempt=msg[2].attempt,
                         tasks=msg[2].stats.ntasks,
                     )
+                else:
+                    events.emit(
+                        "stale_report", rank=rank, kind="done",
+                        attempt=msg[2].attempt,
+                    )
             elif kind == "error":
-                if rank in pending:
-                    on_failure(rank, msg[2])
+                # msg = ("error", rank, attempt, traceback); attempt -1
+                # means the worker died before it even received a scatter.
+                if rank in pending and msg[2] in (-1, attempts[rank] - 1):
+                    on_failure(rank, msg[3])
+                else:
+                    events.emit(
+                        "stale_report", rank=rank, kind="error",
+                        attempt=msg[2],
+                    )
             else:  # pragma: no cover - unknown message kind
                 raise DistExecutionError(f"unexpected message {kind!r} from rank {rank}")
         drain_telemetry()  # beats raced against the final reports

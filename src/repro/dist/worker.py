@@ -233,6 +233,9 @@ class _Progress:
 class _HeartbeatThread:
     """Emits one :class:`HeartbeatMsg` per interval on a daemon thread.
 
+    Protocol:
+        send heartbeat: worker -> coordinator [telemetry]
+
     The first beat goes out immediately (the coordinator's "worker up"
     signal), later beats every ``interval`` seconds.  ``suspend()`` stops
     emission *without* waiting for the thread — the stall fault calls it
@@ -526,16 +529,31 @@ def run_rank(
 
 
 def worker_main(rank: int, endpoint: Endpoint) -> None:
-    """Process entry point: one scatter in, one report (or error) out."""
+    """Process entry point: one scatter in, one report (or error) out.
+
+    Protocol:
+        recv scatter: coordinator -> worker [data]
+        send done: worker -> coordinator [data]
+        send error: worker -> coordinator [data]
+
+    The ``error`` message carries the attempt number of the scatter it
+    was executing (``-1`` if the failure preceded the scatter), so the
+    coordinator can discard reports from superseded attempts instead of
+    recovering a rank it already recovered.
+    """
     t_spawn = time.monotonic()
+    attempt = -1
     try:
         _, msg, _ = endpoint.recv()
+        attempt = msg.attempt
         report = run_rank(
             msg, origin=t_spawn, recv_done=time.monotonic(), endpoint=endpoint
         )
         endpoint.send(COORDINATOR, ("done", rank, report))
     except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
         try:
-            endpoint.send(COORDINATOR, ("error", rank, traceback.format_exc()))
+            endpoint.send(
+                COORDINATOR, ("error", rank, attempt, traceback.format_exc())
+            )
         except Exception:  # pragma: no cover - fabric itself broken
             pass

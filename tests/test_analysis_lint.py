@@ -173,11 +173,13 @@ class TestParseAndSuppression:
         """) == set()
 
     def test_noqa_wrong_rule_keeps_finding(self):
+        # The finding survives, and since L301 never fires on that line
+        # the mistargeted suppression is itself flagged as stale (L399).
         assert _rules("""
             import numpy as np
 
             np.random.seed(0)  # repro: noqa[L301]
-        """) == {"L303"}
+        """) == {"L303", "L399"}
 
     def test_noqa_comma_separated(self):
         assert _rules("""
@@ -348,3 +350,67 @@ class TestSourceTree:
         assert [f.rule for f in report.findings] == ["L303"]
         assert report.findings[0].location.file == str(bad)
         assert lint_paths([str(clean)]).exit_code() == 0
+
+
+class TestStaleNoqa:
+    """L399: every suppression must suppress something, and is itself
+    unsuppressible."""
+
+    def test_active_suppression_is_clean(self):
+        assert _rules("""
+            import numpy as np
+            np.random.seed(0)  # repro: noqa[L303]
+        """) == set()
+
+    def test_stale_suppression_fires_l399(self):
+        findings = _lint("x = 1  # repro: noqa[L303]\n")
+        assert [f.rule for f in findings] == ["L399"]
+        assert findings[0].location.line == 1
+        assert "stale" in findings[0].message
+
+    def test_partially_stale_list_flags_only_the_dead_rule(self):
+        findings = _lint("""
+            import numpy as np
+            np.random.seed(0)  # repro: noqa[L303,L305]
+        """)
+        assert [f.rule for f in findings] == ["L399"]
+        assert "L305" in findings[0].message
+
+    def test_unknown_rule_id_fires_l399(self):
+        findings = _lint("x = 1  # repro: noqa[L999]\n")
+        assert [f.rule for f in findings] == ["L399"]
+        assert "unknown rule" in findings[0].message
+
+    def test_noqa_all_must_suppress_something(self):
+        assert _rules("x = 1  # repro: noqa[all]\n") == {"L399"}
+        assert _rules("""
+            import numpy as np
+            np.random.seed(0)  # repro: noqa[all]
+        """) == set()
+
+    def test_l399_cannot_suppress_itself(self):
+        # noqa[L399] never fires as a walker rule, so it is always stale —
+        # and being reported after the suppression filter, it sticks.
+        findings = _lint("x = 1  # repro: noqa[L399]\n")
+        assert [f.rule for f in findings] == ["L399"]
+
+    def test_noqa_text_inside_strings_is_ignored(self):
+        # Docstrings documenting the suppression syntax (this repo has
+        # several) must neither suppress nor count as stale comments.
+        assert _rules('''
+            """Suppress with # repro: noqa[L308] on the offending line."""
+            DOC = "see # repro: noqa[L303]"
+        ''') == set()
+
+
+class TestFilesScanned:
+    def test_lint_paths_counts_scanned_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_scanned == 2 and report.ok
+
+    def test_nothing_matched_is_zero_not_an_error(self, tmp_path):
+        report = lint_paths([str(tmp_path / "missing")])
+        assert report.files_scanned == 0
+        assert report.ok and report.exit_code() == 0

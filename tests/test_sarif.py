@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 export: structure, severity mapping, validation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    SarifValidationError,
+    to_sarif,
+    validate_sarif,
+    validate_sarif_file,
+    write_sarif,
+)
+
+
+def _report():
+    r = AnalysisReport()
+    r.add("L306", "wall clock in dist", file="src/repro/dist/x.py", line=12)
+    r.add("L301", "leaked segment", file="src/repro/dist/y.py", line=3)
+    r.add("P103", "C tile owned twice", obj="rank 1 / block 0")
+    r.add("M401", "protocol deadlock", obj="protocol scenario ranks=2")
+    return r
+
+
+class TestStructure:
+    def test_document_shape(self):
+        doc = to_sarif(_report())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        assert len(run["results"]) == 4
+
+    def test_rules_array_lists_only_fired_rules_once(self):
+        run = to_sarif(_report())["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert ids == sorted({"L301", "L306", "M401", "P103"})
+        for res in run["results"]:
+            assert ids[res["ruleIndex"]] == res["ruleId"]
+
+    def test_severity_maps_to_sarif_levels(self):
+        r = AnalysisReport()
+        r.add("M401", "deadlock")  # registry severity: error
+        r.add("L301", "leak")      # registry severity: warning
+        levels = {x["ruleId"]: x["level"]
+                  for x in to_sarif(r)["runs"][0]["results"]}
+        assert levels == {"M401": "error", "L301": "warning"}
+
+    def test_locations_physical_and_logical(self):
+        results = to_sarif(_report())["runs"][0]["results"]
+        phys = results[0]["locations"][0]["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == "src/repro/dist/x.py"
+        assert phys["region"]["startLine"] == 12
+        logical = results[2]["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == "rank 1 / block 0"
+
+    def test_empty_report_is_valid_sarif(self):
+        doc = to_sarif(AnalysisReport())
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestValidation:
+    def test_generated_documents_validate(self):
+        validate_sarif(to_sarif(_report()))
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda d: d.update(version="2.0.0"), "version"),
+        (lambda d: d.update(runs=[]), "runs"),
+        (lambda d: d["runs"][0]["tool"]["driver"].pop("name"), "name"),
+        (lambda d: d["runs"][0]["results"][0].update(level="fatal"), "level"),
+        (lambda d: d["runs"][0]["results"][0].pop("message"), "message"),
+        (lambda d: d["runs"][0]["results"][0].update(ruleIndex=99),
+         "ruleIndex"),
+    ])
+    def test_broken_documents_rejected(self, mutate, fragment):
+        doc = to_sarif(_report())
+        mutate(doc)
+        with pytest.raises(SarifValidationError, match=fragment):
+            validate_sarif(doc)
+
+    def test_rule_index_must_point_at_its_rule(self):
+        doc = to_sarif(_report())
+        doc["runs"][0]["results"][0]["ruleIndex"] = 0
+        doc["runs"][0]["results"][0]["ruleId"] = "P103"
+        with pytest.raises(SarifValidationError, match="ruleIndex"):
+            validate_sarif(doc)
+
+
+class TestRoundTrip:
+    def test_write_read_validate(self, tmp_path):
+        path = write_sarif(_report(), tmp_path / "deep" / "out.sarif")
+        doc = validate_sarif_file(path)
+        assert len(doc["runs"][0]["results"]) == 4
+        # the file is plain UTF-8 JSON with a trailing newline
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == doc
+
+    def test_custom_tool_name(self, tmp_path):
+        path = write_sarif(AnalysisReport(), tmp_path / "l.sarif",
+                           tool_name="repro-lint")
+        doc = validate_sarif_file(path)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
