@@ -35,6 +35,9 @@ docs-rules:
 test-dist:
 	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
 	PYTHONPATH=src timeout 300 pytest tests/test_checkpoint.py -m "" -q
+	PYTHONPATH=src timeout 300 pytest tests/test_rebalance.py -m "" -q
+	PYTHONPATH=src timeout 120 python -m repro selftest --procs 3 \
+		--inject-fault 0:1:slow --rebalance
 
 # Benchmark regression gate: run the small dist-executor sweep, write
 # BENCH_dist.json, and compare against the committed baseline (exact task

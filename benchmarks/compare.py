@@ -80,6 +80,43 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
 
     for workers in sorted(set(cur_points) - set(base_points)):
         print(f"workers={workers}: new point (not in baseline, not gated)")
+
+    problems.extend(_compare_skew(baseline.get("skew"), current.get("skew")))
+    return problems
+
+
+def _compare_skew(base: dict | None, cur: dict | None) -> list[str]:
+    """Gate the skewed-plan (straggler rebalancing) scenario.
+
+    The makespan ratio (rebalance off / on) is sleep-dominated and so
+    host-stable to first order, but the *moment* the straggler flag fires
+    still jitters — the gate therefore checks for a clear improvement
+    (>= 1.05x) and that blocks actually moved, rather than tracking the
+    baseline ratio within the tight speedup tolerance.
+    """
+    if base is None:
+        if cur is not None:
+            print("skew: new scenario (not in baseline, not gated)")
+        return []
+    if cur is None:
+        return ["skew: scenario missing from current run"]
+    problems = []
+    if cur["ntasks"] != base["ntasks"]:
+        problems.append(
+            f"skew: task count changed {base['ntasks']} -> {cur['ntasks']} "
+            f"(plan drift)"
+        )
+    if cur["blocks_rebalanced"] <= 0:
+        problems.append(
+            "skew: no blocks were rebalanced (the straggler was never "
+            "acted on)"
+        )
+    if cur["makespan_ratio"] < 1.05:
+        problems.append(
+            f"skew: rebalancing no longer reduces the makespan "
+            f"(off/on ratio {cur['makespan_ratio']:.2f}x, want >= 1.05x; "
+            f"baseline {base['makespan_ratio']:.2f}x)"
+        )
     return problems
 
 

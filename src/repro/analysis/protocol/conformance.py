@@ -5,7 +5,8 @@ implementation.  This pass closes that loop statically:
 
 1. every ``send``/``recv`` call site on a comm endpoint in
    :mod:`repro.dist` is extracted from the AST (``.send(...)``,
-   ``.recv(...)``, ``.send_telemetry(...)``, ``.recv_telemetry(...)``);
+   ``.recv(...)``, ``.recv_nowait(...)``, ``.send_telemetry(...)``,
+   ``.recv_telemetry(...)``);
 2. every *protocol annotation* is extracted from docstrings — one line
    per message, anywhere in a module/class/function docstring::
 
@@ -48,6 +49,7 @@ from repro.analysis.protocol.model import ProtocolModel
 _SITE_METHODS = {
     "send": ("send", "data"),
     "recv": ("recv", "data"),
+    "recv_nowait": ("recv", "data"),
     "send_telemetry": ("send", "telemetry"),
     "recv_telemetry": ("recv", "telemetry"),
 }

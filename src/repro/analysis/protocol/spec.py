@@ -23,11 +23,28 @@ Reading guide, message by message (the names match the docstring
 * ``heartbeat`` — worker -> coordinator, telemetry channel.  The
   :class:`~repro.dist.health.HeartbeatMsg` liveness beat; rides the
   out-of-band queue so it can never delay or reorder control traffic.
+* ``block_done`` — worker -> coordinator, telemetry channel.  The
+  :class:`~repro.dist.comm.BlockDoneMsg` per-block completion report;
+  progress telemetry, never control flow.
+* ``relinquish`` — coordinator -> worker, data channel.  The
+  :class:`~repro.dist.comm.RelinquishMsg` asking a flagged straggler to
+  yield its unstarted blocks; pinned to one attempt.
+* ``relinquished`` — worker -> coordinator, data channel.  The
+  straggler's ack, carrying the yielded block positions (possibly none:
+  the rank was already at its last block, or the request was stale).
+* ``handoff`` — coordinator -> worker, data channel.  The
+  :class:`~repro.dist.comm.HandoffMsg` shipping reclaimed blocks to a
+  finished helper rank.
+* ``handoff_done`` — worker -> coordinator, data channel.  The helper's
+  result (C index + stats), or a failure marker that sends the blocks
+  to the coordinator's inline spare.
 
 Stale variants (``recv:<msg>:stale``) cover traffic from superseded
 attempts — a terminated worker's late heartbeat, a report that raced
-the patrol's grace window — which the coordinator must *discard*: acting
-on a stale report would credit a half-written C arena.
+the patrol's grace window, a relinquish ack from a rank that finished
+or was retried in between — which the coordinator must *discard*:
+acting on a stale report would credit a half-written C arena (or steal
+blocks from an attempt that no longer owns them).
 """
 
 from __future__ import annotations
@@ -50,14 +67,21 @@ SCATTER_NBYTES = 4096
 DONE_NBYTES = 2048
 ERROR_NBYTES = 512
 HEARTBEAT_NBYTES = 256
+BLOCK_DONE_NBYTES = 128
+RELINQUISH_NBYTES = 128
+RELINQUISHED_NBYTES = 256
+HANDOFF_NBYTES = 2048
+HANDOFF_DONE_NBYTES = 1024
 
 #: Queue byte budgets the model proves are never exceeded.  Sized for
 #: the small scope (<= 3 ranks, <= 2 attempts + reassign, bounded
 #: beats); a model change that lets traffic accumulate without bound
 #: trips M404 long before these numbers matter.
 QUEUE_BUDGETS = {
-    "inbox": SCATTER_NBYTES,           # at most one un-consumed scatter
-    "gather": 8 * DONE_NBYTES,         # reports + stale retries
+    # A retry can queue a fresh scatter behind an unconsumed relinquish;
+    # a helper's inbox holds at most one handoff.
+    "inbox": SCATTER_NBYTES + RELINQUISH_NBYTES + HANDOFF_NBYTES,
+    "gather": 8 * DONE_NBYTES,         # reports + stale retries + acks
     "telemetry": 24 * HEARTBEAT_NBYTES,
 }
 
@@ -72,6 +96,16 @@ def build_messages() -> tuple[MsgSpec, ...]:
                 ERROR_NBYTES),
         MsgSpec("heartbeat", WORKER_ROLE, COORDINATOR_ROLE,
                 TELEMETRY_CHANNEL, HEARTBEAT_NBYTES),
+        MsgSpec("block_done", WORKER_ROLE, COORDINATOR_ROLE,
+                TELEMETRY_CHANNEL, BLOCK_DONE_NBYTES),
+        MsgSpec("relinquish", COORDINATOR_ROLE, WORKER_ROLE, DATA_CHANNEL,
+                RELINQUISH_NBYTES),
+        MsgSpec("relinquished", WORKER_ROLE, COORDINATOR_ROLE, DATA_CHANNEL,
+                RELINQUISHED_NBYTES),
+        MsgSpec("handoff", COORDINATOR_ROLE, WORKER_ROLE, DATA_CHANNEL,
+                HANDOFF_NBYTES),
+        MsgSpec("handoff_done", WORKER_ROLE, COORDINATOR_ROLE, DATA_CHANNEL,
+                HANDOFF_DONE_NBYTES),
     )
 
 
@@ -88,19 +122,40 @@ def build_worker_machine() -> RoleMachine:
     dark (heartbeats stop, process alive).  ``act:raise`` is the
     unplanned-exception path of ``worker_main`` — traceback shipped as
     an ``error`` message, then a clean exit.
+
+    Rebalancing edges: ``recv:relinquish`` while running acks at the
+    next block boundary with the unstarted positions; after reporting,
+    the worker parks in ``idle_done`` (the dispatch loop of
+    ``worker_main``) where it acks stray relinquish requests as stale
+    and executes handoffs of blocks reclaimed from stragglers.  A
+    relinquish landing on a freshly (re)spawned ``idle`` worker is from
+    a superseded attempt — acked empty so the coordinator can retire
+    the request (rule M408).  Unit completion also emits a
+    ``block_done`` telemetry beat (on ``act:work`` without
+    checkpointing, on the final ``act:journal`` substep with it).
     """
     t = [
         Transition("idle", "recv:scatter", "running",
                    sends=("heartbeat",), action="attach_and_restore"),
-        Transition("running", "act:work", "running", action="compute_unit"),
+        Transition("idle", "recv:relinquish", "idle",
+                   sends=("relinquished",), action="stale_ack"),
+        Transition("running", "act:work", "running", action="compute_unit",
+                   sends=("block_done",)),
         Transition("running", "act:store", "running", action="store_unit"),
-        Transition("running", "act:journal", "running", action="journal_unit"),
+        Transition("running", "act:journal", "running", action="journal_unit",
+                   sends=("block_done",)),
         Transition("running", "act:beat", "running", sends=("heartbeat",)),
-        Transition("running", "act:report", "exited_done", sends=("done",)),
+        Transition("running", "recv:relinquish", "running",
+                   sends=("relinquished",), action="yield_unstarted"),
+        Transition("running", "act:report", "idle_done", sends=("done",)),
         Transition("running", "act:raise", "exited_err", sends=("error",)),
         Transition("running", "fault:kill", "exited_silent"),
         Transition("running", "fault:abort", "exited_abort"),
         Transition("running", "fault:stall", "stalled"),
+        Transition("idle_done", "recv:relinquish", "idle_done",
+                   sends=("relinquished",), action="stale_ack"),
+        Transition("idle_done", "recv:handoff", "idle_done",
+                   sends=("handoff_done",), action="execute_handoff"),
     ]
     return RoleMachine(WORKER_ROLE, "idle", tuple(t))
 
@@ -118,6 +173,14 @@ def build_coordinator_machine() -> RoleMachine:
     coordinator drains residual telemetry (``draining``) and terminates
     in ``done``; ``aborted`` and ``failed`` are the unrecoverable
     terminals.
+
+    Rebalancing edges: ``obs:straggler`` is the patrol's windowed-rate
+    verdict requesting a cooperative relinquish; the ack
+    (``recv:relinquished``) dispatches a handoff to a finished helper
+    (or runs the blocks on the coordinator's inline spare) and
+    ``recv:handoff_done`` absorbs the helper's C tiles into the reduce.
+    ``block_done`` folds into progress telemetry in both supervising
+    and draining, exactly like heartbeats.
     """
     t = [
         Transition("supervising", "recv:done", "supervising",
@@ -132,6 +195,18 @@ def build_coordinator_machine() -> RoleMachine:
                    action="fold_health"),
         Transition("supervising", "recv:heartbeat:stale", "supervising",
                    action="discard"),
+        Transition("supervising", "recv:block_done", "supervising",
+                   action="fold_progress"),
+        Transition("supervising", "recv:block_done:stale", "supervising",
+                   action="discard"),
+        Transition("supervising", "obs:straggler", "supervising",
+                   sends=("relinquish",), action="request_relinquish"),
+        Transition("supervising", "recv:relinquished", "supervising",
+                   action="dispatch_handoff"),
+        Transition("supervising", "recv:relinquished:stale", "supervising",
+                   action="discard"),
+        Transition("supervising", "recv:handoff_done", "supervising",
+                   action="absorb_handoff"),
         Transition("supervising", "obs:worker_exit", "supervising",
                    action="recover_rank"),
         Transition("supervising", "obs:stall", "supervising",
@@ -142,6 +217,12 @@ def build_coordinator_machine() -> RoleMachine:
         Transition("draining", "recv:heartbeat", "draining",
                    action="fold_health"),
         Transition("draining", "recv:heartbeat:stale", "draining",
+                   action="discard"),
+        Transition("draining", "recv:block_done", "draining",
+                   action="fold_progress"),
+        Transition("draining", "recv:block_done:stale", "draining",
+                   action="discard"),
+        Transition("draining", "recv:relinquished:stale", "draining",
                    action="discard"),
         Transition("draining", "obs:drained", "done"),
     ]

@@ -161,6 +161,12 @@ def _cmd_selftest(args) -> int:
             # Tighten the heartbeat cadence so an injected stall is caught
             # in about a second instead of the production-default window.
             dist_kwargs.update(heartbeat_interval=0.1, stall_after_beats=5)
+        if getattr(args, "rebalance", False):
+            # Act on stragglers: tight patrol cadence and a permissive
+            # rate threshold so an injected slow rank is flagged — and
+            # its unstarted blocks handed off — within the run.
+            dist_kwargs.update(rebalance=True, heartbeat_interval=0.05,
+                               straggler_fraction=0.5)
         try:
             c_dist, report = psgemm_distributed(
                 a, b, machine, p=args.procs, fault_plan=fault_plan, **dist_kwargs
@@ -477,13 +483,21 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--procs", type=int, metavar="N",
                     help="run the plan across N real worker processes and "
                          "crosscheck bit-for-bit against the serial executor")
-    st.add_argument("--inject-fault", metavar="RANK:TASK[:kill|delay|stall|abort]",
+    st.add_argument("--inject-fault",
+                    metavar="RANK:TASK[:kill|delay|stall|slow|abort]",
                     help="with --procs: sabotage worker RANK after TASK GEMM "
                          "tasks (stall hangs it silently until the missed-"
-                         "heartbeat detector fires; abort tears the run down "
-                         "unrecoverably — exit 3 when resumable via "
-                         "--checkpoint) and verify the retry/reassign "
-                         "recovery still produces the exact result")
+                         "heartbeat detector fires; slow drags every "
+                         "subsequent task so the straggler patrol flags it; "
+                         "abort tears the run down unrecoverably — exit 3 "
+                         "when resumable via --checkpoint) and verify the "
+                         "retry/reassign recovery still produces the exact "
+                         "result")
+    st.add_argument("--rebalance", action="store_true",
+                    help="with --procs: act on flagged stragglers — ask them "
+                         "to relinquish unstarted blocks and hand the work "
+                         "to finished ranks (pairs with --inject-fault "
+                         "R:T:slow; result stays bit-identical)")
     st.add_argument("--events", metavar="PATH",
                     help="with --procs: append the run's life-cycle events "
                          "(heartbeats, stalls, retries) to PATH as JSONL")

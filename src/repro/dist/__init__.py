@@ -20,10 +20,25 @@ oracle: same plan, same seeds, identical C.
 * :mod:`~repro.dist.faults` — kill/delay/stall fault plans for recovery tests;
 * :mod:`~repro.dist.health` — live heartbeats, stall/straggler detection,
   and the structured run-event log ``repro monitor`` attaches to.
+
+When ``rebalance=True`` the coordinator also *acts* on stragglers: a
+flagged rank is asked to relinquish its unstarted blocks at the next
+block boundary, and the yielded work is handed off to a finished rank
+(or the coordinator's inline spare) while staying bit-identical to the
+serial oracle and checkpoint-safe (handoffs journal into per-handoff
+sidecar files under the origin rank).
 """
 
 from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
-from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Endpoint
+from repro.dist.comm import (
+    COORDINATOR,
+    BlockDoneMsg,
+    CommLayer,
+    CommStats,
+    Endpoint,
+    HandoffMsg,
+    RelinquishMsg,
+)
 from repro.dist.coordinator import DistExecutionError, DistReport, execute_plan_distributed
 from repro.dist.faults import FaultInjection, FaultPlan
 from repro.dist.health import (
@@ -41,6 +56,7 @@ __all__ = [
     "ArenaBSource",
     "ArenaMeta",
     "BService",
+    "BlockDoneMsg",
     "COORDINATOR",
     "CommLayer",
     "CommStats",
@@ -50,8 +66,10 @@ __all__ = [
     "EventLog",
     "FaultInjection",
     "FaultPlan",
+    "HandoffMsg",
     "HeartbeatMsg",
     "RankHealth",
+    "RelinquishMsg",
     "RunHealth",
     "ScatterMsg",
     "TileArena",

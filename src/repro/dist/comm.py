@@ -12,11 +12,21 @@ reproduces the inspector's ``a_recv_bytes`` per process exactly (the tests
 assert this).
 
 A third, out-of-band channel carries **telemetry**: periodic worker
-heartbeats (:class:`repro.dist.health.HeartbeatMsg`) flow through their
-own shared queue so they can never reorder or delay the control-plane
+heartbeats (:class:`repro.dist.health.HeartbeatMsg`) and per-block
+completion reports (:class:`BlockDoneMsg`) flow through their own shared
+queue so they can never reorder or delay the control-plane
 ``done``/``error`` messages, and their bytes are accounted in a separate
 ``telemetry_bytes`` counter so the plan-derived comm-volume crosschecks
 stay byte-exact regardless of heartbeat cadence.
+
+Dynamic rebalancing adds three control-plane messages: the coordinator
+asks a flagged straggler to :class:`RelinquishMsg` its unstarted blocks
+(the worker answers with a ``("relinquished", rank, attempt, positions)``
+ack at its next block boundary), then ships the reclaimed blocks to a
+finished helper rank as a :class:`HandoffMsg` (answered with
+``("handoff_done", ...)``).  These ride the ordinary inbox/gather queues:
+they only exist when ``rebalance=True``, and the comm-volume crosscheck
+tests run without it.
 """
 
 from __future__ import annotations
@@ -30,6 +40,62 @@ from repro.util.units import fmt_bytes
 
 #: The coordinator's rank in link keys (workers are ``0..nprocs-1``).
 COORDINATOR = -1
+
+
+@dataclass(frozen=True)
+class RelinquishMsg:
+    """Coordinator -> straggler: yield your unstarted blocks.
+
+    ``attempt`` pins the request to one scatter generation; a worker that
+    already finished (or was retried) sees a stale attempt and acks with
+    an empty position list so the coordinator can retire the request.
+    """
+
+    attempt: int
+
+
+@dataclass(frozen=True)
+class BlockDoneMsg:
+    """Worker -> coordinator (telemetry): one block finished writeback.
+
+    Out-of-band like heartbeats — block completions are progress
+    telemetry, not control flow, and must never delay ``done``/``error``.
+    """
+
+    rank: int
+    attempt: int
+    gpu: int
+    block: int
+    ntasks: int
+
+
+@dataclass(frozen=True)
+class HandoffMsg:
+    """Coordinator -> helper rank: execute blocks reclaimed from a straggler.
+
+    ``blocks`` are ``(gpu, position, block)`` triples in the *origin*
+    rank's plan coordinates, so journals and store keys written during the
+    handoff land under the origin's identity and resume stays coherent.
+    ``arena`` names a dedicated shared-memory arena for the produced C
+    tiles.  B-service parameters mirror the original ``ScatterMsg`` so the
+    helper reproduces tiles bit-for-bit.
+    """
+
+    handoff_id: int
+    origin: int
+    blocks: tuple  # of (gpu, position, Block) in the origin's plan
+    a_meta: object  # ArenaMeta of the shared A arena
+    b_spec: tuple
+    c_meta: object  # ArenaMeta of the handoff's dedicated C arena
+    gpu_memory_bytes: int
+    b_csr: object
+    tau: float | None
+    alpha: float
+    store_dir: str | None = None
+    store_budget: int | None = None
+    b_hash: str = ""
+    ckpt_dir: str | None = None
+    run_hash: str = ""
 
 
 @dataclass
@@ -67,6 +133,15 @@ class Endpoint:
         """
         source = self.gather if self.rank == COORDINATOR else self.inboxes[self.rank]
         src, blob = source.get(timeout=timeout)
+        return src, pickle.loads(blob), len(blob)
+
+    def recv_nowait(self):
+        """Non-blocking receive; raises :class:`Empty` when the inbox is
+        drained.  Workers poll this at block boundaries so a coordinator
+        :class:`RelinquishMsg` is noticed without ever blocking compute.
+        """
+        source = self.gather if self.rank == COORDINATOR else self.inboxes[self.rank]
+        src, blob = source.get_nowait()
         return src, pickle.loads(blob), len(blob)
 
     def send_telemetry(self, msg) -> int:

@@ -33,6 +33,15 @@ Responsibilities:
   (terminate, retry once, then reassign), slow-but-beating ranks are
   flagged as stragglers, and every life-cycle transition is appended to
   the ``events_path`` JSONL log (the attach point for ``repro monitor``);
+* **rebalance** — with ``rebalance=True``, a flagged straggler is asked
+  to relinquish its unstarted blocks; the acked positions are handed off
+  to a finished worker rank (or the coordinator's inline spare) as a
+  :class:`~repro.dist.comm.HandoffMsg`, executed through the same block
+  body for bit parity, journaled under the origin's rank into sidecar
+  journals, and folded into the reduction as their own producer — one
+  owner per block at every instant, so the one-producer-per-tile
+  invariant survives any steal x fault interleaving (rules M407/M408 in
+  the protocol model);
 * **clean up** — terminate stragglers and unlink every shared-memory
   segment in a ``finally``, success or not (the leak tests attach-probe
   every name afterwards).
@@ -53,7 +62,15 @@ from dataclasses import dataclass, field
 
 from repro.core.plan import ExecutionPlan
 from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
-from repro.dist.comm import COORDINATOR, CommLayer, CommStats, Empty
+from repro.dist.comm import (
+    COORDINATOR,
+    BlockDoneMsg,
+    CommLayer,
+    CommStats,
+    Empty,
+    HandoffMsg,
+    RelinquishMsg,
+)
 from repro.dist.faults import FaultPlan
 from repro.dist.health import EventLog, RunHealth
 from repro.dist.tile_store import TileArena
@@ -62,6 +79,7 @@ from repro.dist.worker import (
     ScatterMsg,
     WorkerReport,
     checkpoint_hooks,
+    execute_handoff_blocks,
     modeled_a_link_bytes,
     worker_main,
 )
@@ -86,6 +104,15 @@ from repro.util.validation import require
 #: Seconds a vanished worker gets to flush a late report before the
 #: coordinator declares it dead.
 _GRACE_SECONDS = 1.0
+
+#: Upper bound between patrol passes: dead-worker/stall/straggler checks
+#: must run on a monotonic cadence even when the message and telemetry
+#: streams never go quiet (a busy inbox used to starve detection).
+_PATROL_INTERVAL_SECONDS = 0.1
+
+#: Seconds an outstanding handoff may run on a helper rank before the
+#: coordinator gives up on it and re-executes the blocks inline.
+_HANDOFF_TIMEOUT_SECONDS = 60.0
 
 
 class DistExecutionError(RuntimeError):
@@ -121,6 +148,9 @@ class DistReport:
     store_hits: int = 0
     store_misses: int = 0
     store_puts: int = 0
+    handoffs: int = 0
+    blocks_rebalanced: int = 0
+    tasks_rebalanced: int = 0
 
     @property
     def span_dropped(self) -> int:
@@ -139,6 +169,12 @@ class DistReport:
                 f", resumed {self.blocks_restored} block(s) "
                 f"({self.tasks_skipped} tasks skipped)"
                 if self.blocks_restored else ""
+            )
+            + (
+                f", rebalanced {self.blocks_rebalanced} block(s) "
+                f"({self.tasks_rebalanced} tasks over {self.handoffs} "
+                f"handoff(s))"
+                if self.blocks_rebalanced else ""
             )
         )
 
@@ -253,6 +289,7 @@ def execute_plan_distributed(
     store_dir: str | None = None,
     store_budget_bytes: int | None = None,
     snapshot_interval: float = 1.0,
+    rebalance: bool = False,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -296,9 +333,22 @@ def execute_plan_distributed(
     front (the P121 analysis rule makes the same check statically);
     ``store_budget_bytes`` bounds the store on disk via LRU GC.
 
+    Rebalancing: ``rebalance=True`` turns straggler detection into
+    action.  A flagged straggler is sent a cooperative relinquish
+    request; at its next block boundary it acks the positions of its
+    unstarted blocks, which the coordinator hands off to a finished
+    worker rank (or executes inline) and reduces as their own producer.
+    Relinquished positions are excluded from any later retry of the
+    origin, and handoff journals land in per-handoff sidecar files under
+    the origin's rank, so checkpoint/resume replays ownership transfers
+    transparently.  The result stays bit-for-bit equal to the serial
+    executor.
+
     Protocol:
         recv done: worker -> coordinator [data]
         recv error: worker -> coordinator [data]
+        recv relinquished: worker -> coordinator [data]
+        recv handoff_done: worker -> coordinator [data]
 
     Both reports carry the attempt number they belong to; the supervise
     loop discards any report from a superseded attempt (a retry raced
@@ -373,6 +423,26 @@ def execute_plan_distributed(
     m_reassigned = registry.counter(
         "repro_ranks_reassigned_total", "ranks reassigned to the coordinator"
     )
+    m_rebalance_requests = registry.counter(
+        "repro_rebalance_requests_total",
+        "relinquish requests sent to flagged stragglers",
+    )
+    m_rebalance_blocks = registry.counter(
+        "repro_rebalance_blocks_reclaimed_total",
+        "blocks reclaimed from stragglers and handed off",
+    )
+    m_rebalance_tasks = registry.counter(
+        "repro_rebalance_tasks_moved_total",
+        "GEMM tasks moved off stragglers by the rebalancer",
+    )
+    m_rebalance_handoffs = registry.counter(
+        "repro_rebalance_handoffs_total",
+        "handoffs dispatched (to helper ranks or the inline spare)",
+    )
+    m_blocks_completed = registry.counter(
+        "repro_blocks_completed_total",
+        "per-block completion reports received on the telemetry channel",
+    )
     health = RunHealth(
         heartbeat_interval=heartbeat_interval,
         stall_after_beats=stall_after_beats,
@@ -439,8 +509,19 @@ def execute_plan_distributed(
                 (g, bi, rec_.tiles) for (g, bi), rec_ in sorted(done.items())
             )
 
+        #: Block positions reclaimed from each rank, cumulative across its
+        #: attempts: a retried origin must never re-execute a block the
+        #: rebalancer already owns (that would double-produce its tiles).
+        stolen_blocks: dict[int, set[tuple[int, int]]] = {}
+
+        def stolen_tasks(rank: int) -> int:
+            return sum(
+                plan.procs[rank].gpu_blocks(g)[bi].ntasks
+                for g, bi in stolen_blocks.get(rank, ())
+            )
+
         def scatter(rank: int, attempt: int) -> None:
-            """Ship one rank's plan, arenas, and restore list.
+            """Ship one rank's plan, arenas, restore and exclusion lists.
 
             Protocol:
                 send scatter: coordinator -> worker [data]
@@ -449,7 +530,13 @@ def execute_plan_distributed(
             inj = fault_plan.for_rank(rank) if fault_plan is not None else None
             if inj is not None and not inj.armed(attempt):
                 inj = None
-            completed = completed_for(rank)
+            stolen = stolen_blocks.get(rank, set())
+            # A journal may already hold stolen blocks (the handoff's
+            # sidecar): they are the handoff's to produce, not this rank's
+            # to restore.
+            completed = tuple(
+                t for t in completed_for(rank) if (t[0], t[1]) not in stolen
+            )
             if completed:
                 events.emit(
                     "resume", rank=rank, attempt=attempt,
@@ -482,12 +569,15 @@ def execute_plan_distributed(
                 ckpt_dir=checkpoint_dir,
                 run_hash=run_hash,
                 completed=completed,
+                excluded=tuple(sorted(stolen)),
+                rebalance=rebalance,
             )
             t_send = clock()
             coord.send(rank, msg)
             rec.record(f"scatter.{rank}", f"net.{rank}", t_send, clock())
             health.on_scatter(
-                rank, plan.procs[rank].ntasks, attempt, time.monotonic()
+                rank, plan.procs[rank].ntasks - stolen_tasks(rank), attempt,
+                time.monotonic(),
             )
             last_metrics.pop(rank, None)  # a fresh attempt restarts its counters
             events.emit(
@@ -514,6 +604,15 @@ def execute_plan_distributed(
         pending = set(range(nranks))
         suspects: dict[int, float] = {}
         deadline = time.monotonic() + timeout
+
+        # ---- rebalance state ---------------------------------------------
+        #: rank -> attempt of the one relinquish request in flight to it.
+        outstanding_relinquish: dict[int, int] = {}
+        #: handoff id -> dispatch record (origin, helper, blocks, arena).
+        pending_handoffs: dict[int, dict] = {}
+        #: handoff id -> (origin, tile payload, stats) for the reduction.
+        handoff_results: dict[int, tuple] = {}
+        next_handoff = 0
 
         def run_inline(rank: int) -> None:
             """Reassign a twice-failed rank to a coordinator-local worker."""
@@ -550,6 +649,12 @@ def execute_plan_distributed(
                     clock=clock,
                     restore_block=restore_block,
                     on_block=on_block,
+                    # Blocks stolen from this rank belong to their handoffs
+                    # now — the inline spare must not produce them twice.
+                    skip_block=(
+                        (lambda g, bi, blk: (g, bi) in stolen_blocks[rank])
+                        if stolen_blocks.get(rank) else None
+                    ),
                 )
             finally:
                 if journal is not None:
@@ -576,6 +681,12 @@ def execute_plan_distributed(
 
         def on_failure(rank: int, reason: str) -> None:
             suspects.pop(rank, None)
+            # A retried or reassigned rank starts a fresh attempt: its
+            # straggler flag must not outlive the attempt it measured (a
+            # slow *second* attempt must be re-flaggable), and any
+            # relinquish in flight to the dead attempt is superseded.
+            flagged_stragglers.discard(rank)
+            outstanding_relinquish.pop(rank, None)
             old = workers.pop(rank, None)
             if old is not None and old.is_alive():
                 # Still breathing (a stalled or wedged worker): put it down
@@ -605,6 +716,7 @@ def execute_plan_distributed(
 
             Protocol:
                 recv heartbeat: worker -> coordinator [telemetry]
+                recv block_done: worker -> coordinator [telemetry]
             """
             while True:
                 try:
@@ -612,6 +724,14 @@ def execute_plan_distributed(
                 except Empty:
                     return
                 comm_stats.absorb_telemetry({(src, COORDINATOR): nbytes})
+                if isinstance(hb, BlockDoneMsg):
+                    if hb.attempt == attempts.get(hb.rank, 0) - 1:
+                        m_blocks_completed.inc()
+                        events.emit(
+                            "block_done", rank=hb.rank, attempt=hb.attempt,
+                            gpu=hb.gpu, block=hb.block, tasks=hb.ntasks,
+                        )
+                    continue
                 now = time.monotonic()
                 first = (
                     health.ranks.get(hb.rank) is not None
@@ -630,6 +750,143 @@ def execute_plan_distributed(
                 )
 
         flagged_stragglers: set[int] = set()
+
+        def maybe_relinquish(rank: int) -> None:
+            """Ask a flagged straggler to yield its unstarted blocks.
+
+            At most one request per rank is in flight; the pin to the live
+            attempt lets the worker (and the supervise loop) discard a
+            request that raced a retry.
+
+            Protocol:
+                send relinquish: coordinator -> worker [data]
+            """
+            if not rebalance or rank in outstanding_relinquish or rank not in pending:
+                return
+            att = attempts[rank] - 1
+            outstanding_relinquish[rank] = att
+            coord.send(rank, RelinquishMsg(attempt=att))
+            m_rebalance_requests.inc()
+            events.emit("rebalance", rank=rank, attempt=att)
+
+        def pick_helper() -> int | None:
+            """A finished worker rank able to absorb a handoff, or ``None``.
+
+            Only ranks that reported *through the comm layer* qualify: an
+            inline-reassigned rank has no worker process to send to.
+            """
+            for r in sorted(reports):
+                if r in pending or r in local_results:
+                    continue
+                proc = workers.get(r)
+                if proc is not None and proc.is_alive():
+                    return r
+            return None
+
+        def run_handoff_inline(hid: int) -> None:
+            """Execute one handoff's blocks in the coordinator process.
+
+            The fallback producer: used when no helper rank is free, when
+            the chosen helper dies or reports failure mid-handoff, or when
+            a handoff times out.  Re-executing after a partial helper run
+            is safe — duplicate journal/store records are bit-identical
+            and only this inline result enters the reduction.
+            """
+            h = pending_handoffs.pop(hid)
+            origin = h["origin"]
+            if b_arena is not None:
+                b_local = ArenaBSource(b_arena)
+            else:
+                b_local = BService(
+                    b.empty_clone(), budget_bytes=plan.gpu_memory_bytes,
+                    recorder=rec, store=coord_store, store_ns=f"b:{b_hash}",
+                )
+            on_block = None
+            journal = None
+            if checkpoint_dir is not None:
+                journal = WritebackJournal(
+                    checkpoint_dir, origin, suffix=f".h{hid}"
+                )
+                _, on_block, _ = checkpoint_hooks(
+                    coord_store, journal, run_hash, origin, {}, registry
+                )
+            try:
+                produced, stats = execute_handoff_blocks(
+                    h["blocks"],
+                    a.get_tile,
+                    b_local,
+                    origin=origin,
+                    gpu_memory_bytes=plan.gpu_memory_bytes,
+                    b_csr=plan.b_shape.csr,
+                    tau=plan.options.screen_threshold,
+                    alpha=alpha,
+                    on_block=on_block,
+                )
+            finally:
+                if journal is not None:
+                    journal.close()
+            stats.b_tiles_generated = b_local.generated_tiles()
+            handoff_results[hid] = (origin, dict(produced), stats)
+            events.emit(
+                "handoff_done", handoff=hid, origin=origin, helper=None,
+                tasks=stats.ntasks,
+            )
+
+        def dispatch_handoff(origin: int, positions: tuple) -> None:
+            """Ship reclaimed blocks to a helper rank (or run them inline).
+
+            Protocol:
+                send handoff: coordinator -> worker [data]
+            """
+            nonlocal next_handoff
+            hid = next_handoff
+            next_handoff += 1
+            blocks_payload = tuple(
+                (g, bi, plan.procs[origin].gpu_blocks(g)[bi])
+                for g, bi in positions
+            )
+            moved = sum(blk.ntasks for _, _, blk in blocks_payload)
+            helper = pick_helper()
+            m_rebalance_handoffs.inc()
+            m_rebalance_blocks.inc(len(blocks_payload))
+            m_rebalance_tasks.inc(moved)
+            events.emit(
+                "handoff", handoff=hid, origin=origin, helper=helper,
+                blocks=len(blocks_payload), tasks=moved,
+            )
+            if helper is None:
+                pending_handoffs[hid] = {
+                    "origin": origin, "helper": None,
+                    "blocks": blocks_payload, "arena": None,
+                    "started": time.monotonic(),
+                }
+                run_handoff_inline(hid)
+                return
+            cap = sum(blk.c_bytes for _, _, blk in blocks_payload)
+            arena = TileArena.allocate(f"h{hid}", cap)
+            arenas.append(arena)
+            pending_handoffs[hid] = {
+                "origin": origin, "helper": helper,
+                "blocks": blocks_payload, "arena": arena,
+                "started": time.monotonic(),
+            }
+            coord.send(helper, HandoffMsg(
+                handoff_id=hid,
+                origin=origin,
+                blocks=blocks_payload,
+                a_meta=a_meta,
+                b_spec=b_spec,
+                c_meta=arena.meta(),
+                gpu_memory_bytes=plan.gpu_memory_bytes,
+                b_csr=plan.b_shape.csr,
+                tau=plan.options.screen_threshold,
+                alpha=alpha,
+                store_dir=store_dir,
+                store_budget=store_budget_bytes,
+                b_hash=b_hash,
+                ckpt_dir=checkpoint_dir,
+                run_hash=run_hash,
+            ))
 
         def patrol() -> None:
             """Dead-worker, stall, and straggler checks between messages."""
@@ -667,12 +924,37 @@ def execute_plan_distributed(
                     f"stalled: no heartbeat for {silent:.2f} s "
                     f"(> {stall_after_beats} x {heartbeat_interval} s)",
                 )
-            for rank in health.straggler_ranks(time.monotonic()):
-                if rank in flagged_stragglers:
-                    continue
+            current = set(health.straggler_ranks(time.monotonic()))
+            for rank in sorted(current - flagged_stragglers):
                 flagged_stragglers.add(rank)
                 health.mark(rank, "straggler")
                 events.emit("straggler", rank=rank)
+                maybe_relinquish(rank)
+            for rank in sorted(flagged_stragglers - current):
+                # Recovery: the rank's windowed rate climbed back over the
+                # threshold (or it finished).  Clear the flag so a later
+                # slowdown re-flags it — a sticky flag would mute every
+                # straggler after its first offense.
+                flagged_stragglers.discard(rank)
+                rh = health.ranks.get(rank)
+                if rh is not None and rh.state == "straggler":
+                    health.mark(rank, "running")
+                    events.emit("straggler_recovered", rank=rank)
+            for hid in sorted(pending_handoffs):
+                h = pending_handoffs[hid]
+                helper = h["helper"]
+                if helper is None:
+                    continue
+                proc = workers.get(helper)
+                helper_dead = proc is None or proc.exitcode is not None
+                timed_out = now - h["started"] > _HANDOFF_TIMEOUT_SECONDS
+                if helper_dead or timed_out:
+                    events.emit(
+                        "handoff_failed", handoff=hid, origin=h["origin"],
+                        helper=helper,
+                        reason="helper died" if helper_dead else "timeout",
+                    )
+                    run_handoff_inline(hid)
 
         def snapshot(state: str) -> None:
             """Atomically refresh ``coordinator.json`` with live progress."""
@@ -702,8 +984,9 @@ def execute_plan_distributed(
         # later mismatched plan is refused).
         snapshot("running")
         last_snapshot = time.monotonic()
+        last_patrol = time.monotonic()
 
-        while pending:
+        while pending or pending_handoffs:
             if time.monotonic() > deadline:
                 raise DistExecutionError(
                     f"distributed run timed out after {timeout:.0f} s "
@@ -713,10 +996,17 @@ def execute_plan_distributed(
                 snapshot("running")
                 last_snapshot = time.monotonic()
             drain_telemetry()
+            # Patrol on a bounded monotonic cadence, not only when the
+            # inbox goes quiet: a steady message stream used to starve
+            # dead-worker/stall/straggler detection entirely.
+            if time.monotonic() - last_patrol >= _PATROL_INTERVAL_SECONDS:
+                patrol()
+                last_patrol = time.monotonic()
             try:
                 src, msg, nbytes = coord.recv(timeout=0.1)
             except Empty:
                 patrol()
+                last_patrol = time.monotonic()
                 continue
             kind, rank = msg[0], msg[1]
             comm_stats.absorb({(rank, COORDINATOR): nbytes}, {(rank, COORDINATOR): 1})
@@ -729,12 +1019,13 @@ def execute_plan_distributed(
                     reports[rank] = msg[2]
                     pending.discard(rank)
                     suspects.pop(rank, None)
+                    # A done report supersedes any relinquish in flight to
+                    # this rank (M408) and retires its straggler flag.
+                    outstanding_relinquish.pop(rank, None)
+                    flagged_stragglers.discard(rank)
                     if msg[2].metrics is not None:
                         last_metrics[rank] = msg[2].metrics
-                    rh = health.ranks.get(rank)
-                    if rh is not None:
-                        rh.state = "done"
-                        rh.tasks_done = rh.tasks_total
+                    health.on_done(rank, time.monotonic())
                     events.emit(
                         "rank_done", rank=rank, attempt=msg[2].attempt,
                         tasks=msg[2].stats.ntasks,
@@ -754,6 +1045,69 @@ def execute_plan_distributed(
                         "stale_report", rank=rank, kind="error",
                         attempt=msg[2],
                     )
+            elif kind == "relinquished":
+                # msg = ("relinquished", rank, attempt, positions): the
+                # straggler's ack.  Accept only the ack for the request we
+                # sent to the live attempt; anything else is stale (the
+                # rank finished, died, or was retried in between).
+                att, positions = msg[2], tuple(tuple(p) for p in msg[3])
+                live = (
+                    outstanding_relinquish.get(rank) == att
+                    and rank in pending
+                    and att == attempts[rank] - 1
+                )
+                if live:
+                    outstanding_relinquish.pop(rank, None)
+                    events.emit(
+                        "relinquished", rank=rank, attempt=att,
+                        blocks=len(positions),
+                    )
+                    if positions:
+                        stolen_blocks.setdefault(rank, set()).update(positions)
+                        moved = sum(
+                            plan.procs[rank].gpu_blocks(g)[bi].ntasks
+                            for g, bi in positions
+                        )
+                        rh = health.ranks.get(rank)
+                        if rh is not None:
+                            # The origin's denominator shrinks with its
+                            # schedule, so progress fractions stay honest.
+                            rh.tasks_total = max(0, rh.tasks_total - moved)
+                        dispatch_handoff(rank, positions)
+                else:
+                    if outstanding_relinquish.get(rank) == att:
+                        outstanding_relinquish.pop(rank, None)
+                    events.emit(
+                        "stale_report", rank=rank, kind="relinquished",
+                        attempt=att,
+                    )
+            elif kind == "handoff_done":
+                # msg = ("handoff_done", rank, hid, c_index, stats);
+                # c_index None flags a helper-side failure -> redo inline.
+                hid = msg[2]
+                h = pending_handoffs.get(hid)
+                if h is None:
+                    # Already resolved (timed out and redone inline, or a
+                    # duplicate): the late result is stale, not an error.
+                    events.emit(
+                        "stale_report", rank=rank, kind="handoff_done",
+                        handoff=hid,
+                    )
+                elif msg[3] is None:
+                    events.emit(
+                        "handoff_failed", handoff=hid, origin=h["origin"],
+                        helper=rank, reason="helper error",
+                    )
+                    run_handoff_inline(hid)
+                else:
+                    pending_handoffs.pop(hid)
+                    handoff_results[hid] = (
+                        h["origin"], ("arena", h["arena"], msg[3]), msg[4]
+                    )
+                    events.emit(
+                        "handoff_done", handoff=hid, origin=h["origin"],
+                        helper=rank, tasks=msg[4].ntasks,
+                    )
             else:  # pragma: no cover - unknown message kind
                 raise DistExecutionError(f"unexpected message {kind!r} from rank {rank}")
         drain_telemetry()  # beats raced against the final reports
@@ -769,7 +1123,7 @@ def execute_plan_distributed(
             for (i, j), tile in c.items():
                 out.set_tile(i, j, beta * tile)
 
-        produced_by: dict[tuple[int, int], int] = {}
+        produced_by: dict[tuple[int, int], object] = {}
         t_reduce = clock()
         for rank in range(nranks):
             report = reports[rank]
@@ -788,10 +1142,35 @@ def execute_plan_distributed(
                     f"C tile ({i},{j}) produced by two processes ({prev}, {rank})",
                 )
                 out.accumulate_tile(i, j, tile)
+        # Handoff producers reduce exactly like ranks: blocks within one
+        # process hold disjoint column sets, so a stolen block's tiles can
+        # collide neither with the origin's remaining blocks nor with any
+        # other rank — the one-producer check enforces it (M407).
+        for hid in sorted(handoff_results):
+            origin, payload, _ = handoff_results[hid]
+            if isinstance(payload, dict):
+                tiles = payload.items()
+            else:
+                _, arena, c_index = payload
+                tiles = (
+                    ((i, j), arena.read(entry))
+                    for (i, j), entry in c_index.items()
+                )
+            for (i, j), tile in tiles:
+                prev = produced_by.setdefault((i, j), ("handoff", hid))
+                require(
+                    prev == ("handoff", hid),
+                    f"C tile ({i},{j}) produced by two processes "
+                    f"({prev}, handoff {hid} of rank {origin})",
+                )
+                out.accumulate_tile(i, j, tile)
         rec.record("reduce", "net.-1", t_reduce, clock())
 
         # ---- merge stats / trace / comm / metrics -------------------------
-        stats = NumericStats.merge([reports[rank].stats for rank in range(nranks)])
+        stats = NumericStats.merge(
+            [reports[rank].stats for rank in range(nranks)]
+            + [s for _, _, s in handoff_results.values()]
+        )
         run_trace = Trace()
         run_trace.extend(rec.spans)
         spans_dropped = rec.dropped
@@ -842,6 +1221,9 @@ def execute_plan_distributed(
             store_hits=sum(reports[r].store_hits for r in range(nranks)),
             store_misses=sum(reports[r].store_misses for r in range(nranks)),
             store_puts=sum(reports[r].store_puts for r in range(nranks)),
+            handoffs=len(handoff_results),
+            blocks_rebalanced=sum(len(s) for s in stolen_blocks.values()),
+            tasks_rebalanced=sum(stolen_tasks(r) for r in stolen_blocks),
         )
         events.emit(
             "done",
@@ -850,6 +1232,8 @@ def execute_plan_distributed(
             retried=sorted(r for r, a in attempts.items() if a > 1),
             stalled=sorted(set(stalled)),
             reassigned=sorted(reassigned),
+            handoffs=len(handoff_results),
+            blocks_rebalanced=sum(len(s) for s in stolen_blocks.values()),
         )
         return out, dist_report
     finally:

@@ -11,6 +11,12 @@ fires only on a rank's first attempt (``once=True``), so the
 coordinator's retry-once recovery succeeds; with ``once=False`` the fault
 is persistent and recovery must fall through to reassignment.
 
+``slow`` models a straggler rather than a crash: from its *k*-th GEMM
+task onward the worker sleeps a little before **every** task, so its
+heartbeat rate collapses while the rank keeps making (slow) progress —
+the shape the coordinator's straggler detector and the dynamic
+rebalancer are built to absorb.
+
 ``abort`` models losing the *whole job*, not one rank: the worker dies
 exactly like ``kill`` but with a distinguished exit code that tells the
 coordinator to give up immediately — no retry, no reassignment — leaving
@@ -36,13 +42,16 @@ class FaultInjection:
     at_task:
         Fire after this many GEMM tasks have executed on the rank
         (1-based; a count past the rank's task total never fires).
+        ``slow`` fires on this task *and every later one*.
     kind:
         ``"kill"``, ``"delay"``, ``"stall"`` (hang silently — heartbeats
-        stop, process stays alive), or ``"abort"`` (die like ``kill`` but
-        unrecoverably: the coordinator fails the whole run, to be resumed
-        from its checkpoint).
+        stop, process stays alive), ``"slow"`` (persistent per-task
+        delay: a live straggler, not a crash), or ``"abort"`` (die like
+        ``kill`` but unrecoverably: the coordinator fails the whole run,
+        to be resumed from its checkpoint).
     delay_seconds:
-        Sleep length for ``"delay"``.
+        Sleep length for ``"delay"`` (one sleep) and ``"slow"`` (every
+        task from ``at_task`` on).
     once:
         Fire on the first attempt only (retry then succeeds); ``False``
         fires on every attempt (forcing reassignment).
@@ -55,10 +64,10 @@ class FaultInjection:
     once: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay", "stall", "abort"):
+        if self.kind not in ("kill", "delay", "stall", "slow", "abort"):
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; use 'kill', 'delay', "
-                f"'stall' or 'abort'"
+                f"'stall', 'slow' or 'abort'"
             )
         if self.rank < 0:
             raise ValueError(f"fault rank must be >= 0, got {self.rank}")
@@ -96,6 +105,19 @@ class FaultPlan:
         )
 
     @classmethod
+    def slow(cls, rank: int, at_task: int = 1,
+             seconds: float = 0.05) -> "FaultPlan":
+        """A live straggler: sleep before every task from ``at_task`` on.
+
+        ``slow`` faults are persistent by construction (a retried attempt
+        of a slow node is still slow); the rebalancer, not recovery, is
+        the intended remedy."""
+        return cls(
+            (FaultInjection(rank=rank, at_task=at_task, kind="slow",
+                            delay_seconds=seconds, once=False),)
+        )
+
+    @classmethod
     def abort(cls, rank: int, at_task: int) -> "FaultPlan":
         """An unrecoverable kill: the coordinator fails the run immediately
         (``abort`` faults are always persistent — resuming the job is the
@@ -106,8 +128,9 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec: str, nranks: int | None = None) -> "FaultPlan":
-        """Parse a CLI fault spec: ``RANK:TASK[:kill|delay|stall|abort]``,
-        comma-separated for several ranks.
+        """Parse a CLI fault spec:
+        ``RANK:TASK[:kill|delay|stall|slow|abort]``, comma-separated for
+        several ranks.
 
         ``nranks`` (when known) bounds the rank field; duplicate ranks are
         rejected because at most one injection per rank is honoured.
@@ -119,13 +142,13 @@ class FaultPlan:
             if not part:
                 raise ValueError(
                     f"bad fault spec {spec!r}: empty entry; expected "
-                    f"comma-separated RANK:TASK[:kill|delay|stall|abort]"
+                    f"comma-separated RANK:TASK[:kill|delay|stall|slow|abort]"
                 )
             fields = part.split(":")
             if len(fields) not in (2, 3):
                 raise ValueError(
                     f"bad fault spec {part!r}; expected "
-                    f"RANK:TASK[:kill|delay|stall|abort]"
+                    f"RANK:TASK[:kill|delay|stall|slow|abort]"
                 )
             try:
                 rank, task = int(fields[0]), int(fields[1])
@@ -134,10 +157,10 @@ class FaultPlan:
                     f"bad fault spec {part!r}: RANK and TASK must be integers"
                 ) from None
             kind = fields[2] if len(fields) == 3 else "kill"
-            if kind not in ("kill", "delay", "stall", "abort"):
+            if kind not in ("kill", "delay", "stall", "slow", "abort"):
                 raise ValueError(
                     f"bad fault kind {kind!r} in {part!r}; "
-                    f"expected kill, delay, stall or abort"
+                    f"expected kill, delay, stall, slow or abort"
                 )
             if rank < 0:
                 raise ValueError(f"bad fault spec {part!r}: rank must be >= 0")
@@ -152,8 +175,12 @@ class FaultPlan:
                     f"injection per rank is honoured"
                 )
             seen.add(rank)
+            # slow models a persistently slow node; abort is unrecoverable
+            # by definition — both fire on every attempt.
             injections.append(FaultInjection(
-                rank=rank, at_task=task, kind=kind, once=(kind != "abort"),
+                rank=rank, at_task=task, kind=kind,
+                once=kind not in ("abort", "slow"),
+                delay_seconds=0.05 if kind == "slow" else 0.2,
             ))
         return cls(tuple(injections))
 

@@ -26,7 +26,13 @@ Three pieces:
   - **straggler** — a rank whose task-progress rate falls below
     ``straggler_fraction`` of the median rate across beating ranks is
     flagged (surfaced in the health table and the event log; unlike a
-    stall it triggers no recovery — slow is not dead).
+    stall it triggers no recovery — slow is not dead — but with
+    ``rebalance=True`` the coordinator asks a flagged rank to relinquish
+    its unstarted blocks).  The rate is *windowed* (the last
+    ``rate_window_beats`` heartbeats), so a rank that was fast and then
+    hit a wall decays to the threshold within a window, not over its
+    whole uptime; finished ranks anchor the median at their final rate,
+    so detection keeps working after the fast ranks complete.
 
 * :class:`EventLog` — a structured JSONL stream (``run-events.jsonl``)
   of the run's life-cycle: ``plan_accepted``, ``worker_up``,
@@ -104,6 +110,10 @@ class RankHealth:
     last_signal: float = 0.0
     first_beat: float | None = None
     stalls: int = 0
+    #: Sliding window of ``(instant, tasks_done)`` heartbeat samples; the
+    #: oldest retained sample is the baseline of :meth:`rate`.
+    rate_window: int = 8
+    samples: list = field(default_factory=list)
 
     @property
     def progress(self) -> float:
@@ -113,13 +123,20 @@ class RankHealth:
         return min(1.0, self.tasks_done / self.tasks_total)
 
     def rate(self, now: float) -> float:
-        """Tasks per second since the rank's first heartbeat."""
-        if self.first_beat is None:
+        """Tasks per second over the last ``rate_window`` heartbeats.
+
+        Baseline is the oldest sample still in the window (the first
+        beat, until ``rate_window`` beats have arrived), so a rank that
+        was fast and then hung decays toward zero within one window
+        instead of coasting on its lifetime average.
+        """
+        if self.first_beat is None or not self.samples:
             return 0.0
-        elapsed = now - self.first_beat
+        t0, tasks0 = self.samples[0]
+        elapsed = now - t0
         if elapsed <= 0.0:
             return 0.0
-        return self.tasks_done / elapsed
+        return (self.tasks_done - tasks0) / elapsed
 
 
 class RunHealth:
@@ -133,10 +150,12 @@ class RunHealth:
 
     def __init__(self, heartbeat_interval: float = 0.0,
                  stall_after_beats: int = 8,
-                 straggler_fraction: float = 0.25):
+                 straggler_fraction: float = 0.25,
+                 rate_window_beats: int = 8):
         self.heartbeat_interval = heartbeat_interval
         self.stall_after_beats = stall_after_beats
         self.straggler_fraction = straggler_fraction
+        self.rate_window_beats = max(2, rate_window_beats)
         self.ranks: dict[int, RankHealth] = {}
         self.heartbeats = 0
 
@@ -153,6 +172,7 @@ class RunHealth:
             attempt=attempt,
             last_signal=now,
             stalls=self.ranks[rank].stalls if rank in self.ranks else 0,
+            rate_window=self.rate_window_beats,
         )
 
     def on_heartbeat(self, hb: HeartbeatMsg, now: float) -> bool:
@@ -169,10 +189,43 @@ class RunHealth:
         if rh.first_beat is None:
             rh.first_beat = now
             rh.state = "up"
-        if hb.tasks_done > 0 and rh.state in ("up", "straggler"):
+        rh.samples.append((now, rh.tasks_done))
+        if len(rh.samples) > rh.rate_window:
+            del rh.samples[0]
+        # A flagged straggler stays flagged until the detector clears it
+        # (the coordinator marks it back to "running" on recovery) — a
+        # beat alone must not flicker the table back to "running" while
+        # the rank is still below threshold.
+        if hb.tasks_done > 0 and rh.state == "up":
             rh.state = "running"
         self.heartbeats += 1
         return True
+
+    def on_done(self, rank: int, now: float) -> None:
+        """Fold a rank's final report in: all tasks done, rate frozen.
+
+        Appends a closing ``(now, tasks_total)`` sample so the rank's
+        anchored rate reflects its actual finish — a fast rank that
+        completed before its second heartbeat would otherwise anchor the
+        straggler median at a meaningless 0.0 (one sample, zero elapsed).
+        """
+        rh = self.ranks.get(rank)
+        if rh is None:
+            return
+        rh.state = "done"
+        rh.tasks_done = rh.tasks_total
+        if not rh.samples:
+            # A rank so fast it finished before its first heartbeat:
+            # synthesize the scatter instant as the baseline so it still
+            # anchors the median (at its true lifetime rate) instead of
+            # silently dropping out of the contributor count.
+            rh.samples.append((rh.last_signal, 0))
+        if rh.first_beat is None:
+            rh.first_beat = now
+        rh.samples.append((now, rh.tasks_done))
+        if len(rh.samples) > rh.rate_window:
+            del rh.samples[0]
+        rh.last_signal = now
 
     def mark(self, rank: int, state: str) -> None:
         rh = self.ranks.get(rank)
@@ -202,19 +255,27 @@ class RunHealth:
         return out
 
     def straggler_ranks(self, now: float) -> list[int]:
-        """Beating ranks whose progress rate trails the median.
+        """Beating ranks whose windowed progress rate trails the median.
 
-        Needs at least three beating, unfinished ranks (a median of one
-        or two is noise) and a nonzero median rate.
+        Needs at least three beating contributors (a median of one or two
+        is noise) and a nonzero median rate.  Finished ranks still anchor
+        the median at their *final* rate — frozen at their last beat — so
+        a slow rank stays detectable after the fast ranks complete (the
+        exact moment rebalancing has idle helpers to offer).
         """
         active = [
             rh for rh in self.ranks.values()
             if rh.beats > 0 and rh.state in ("up", "running", "straggler")
         ]
-        if len(active) < 3:
+        done = [
+            rh for rh in self.ranks.values()
+            if rh.samples and rh.state == "done"
+        ]
+        if not active or len(active) + len(done) < 3:
             return []
         rates = {rh.rank: rh.rate(now) for rh in active}
-        med = median(rates.values())
+        anchors = [rh.rate(rh.last_signal) for rh in done]
+        med = median(list(rates.values()) + anchors)
         if med <= 0.0:
             return []
         return sorted(

@@ -1,11 +1,24 @@
 """The per-rank worker process of the distributed executor.
 
-Each worker is one planned process rank.  Life of a worker: receive one
+Each worker is one planned process rank.  Life of a worker: receive a
 :class:`ScatterMsg` from the coordinator, attach the shared-memory arenas,
 execute its :class:`~repro.core.plan.ProcPlan` through the *same*
 :func:`repro.runtime.numeric.execute_proc_plan` body the serial executor
 uses (hence bit-identical numerics), write its C tiles into its output
-arena, and send a :class:`WorkerReport` back.
+arena, and send a :class:`WorkerReport` back.  The process then stays in
+its dispatch loop: a finished rank is the rebalancer's favourite helper,
+ready to accept a :class:`~repro.dist.comm.HandoffMsg` of blocks
+reclaimed from a straggler (executed through the same
+:func:`~repro.runtime.numeric.execute_block` body, so handoff tiles are
+bit-identical to the tiles the origin would have produced).
+
+Rebalancing yield points: between blocks the worker polls its inbox; a
+coordinator :class:`~repro.dist.comm.RelinquishMsg` makes it give up its
+not-yet-started blocks (acked with their positions, skipped thereafter)
+while the in-flight block finishes normally.  Completion of every block
+is reported out-of-band as a :class:`~repro.dist.comm.BlockDoneMsg` on
+the telemetry channel, so the coordinator knows which blocks are still
+unstarted without perturbing control-plane traffic.
 
 The worker overlaps transfers with compute the way the paper's control DAG
 does: a prefetch thread copies the *next* chunk's A tiles out of the shared
@@ -52,12 +65,25 @@ import numpy as np
 from repro.core.grid import ProcessGrid
 from repro.core.plan import Block, ProcPlan
 from repro.dist.bservice import ArenaBSource, BService
-from repro.dist.comm import COORDINATOR, Endpoint
+from repro.dist.comm import (
+    COORDINATOR,
+    BlockDoneMsg,
+    Empty,
+    Endpoint,
+    HandoffMsg,
+    RelinquishMsg,
+)
 from repro.dist.faults import FaultInjection
 from repro.dist.health import HeartbeatMsg
 from repro.dist.tile_store import ArenaMeta, TileArena
+from repro.runtime.gpu_memory import GpuMemory
 from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
-from repro.runtime.numeric import NumericStats, execute_proc_plan
+from repro.runtime.numeric import (
+    NumericStats,
+    block_cols_of_k,
+    execute_block,
+    execute_proc_plan,
+)
 from repro.runtime.tracing import SpanRecorder, SpanStream
 from repro.store import (
     CompletedBlock,
@@ -110,6 +136,14 @@ class ScatterMsg:
     ckpt_dir: str | None = None
     run_hash: str = ""
     completed: tuple = ()
+    #: Block positions ``(gpu, index)`` this rank must *not* execute: they
+    #: were relinquished to the rebalancer in an earlier attempt and are
+    #: owned by a handoff now (producing them here would double-produce).
+    excluded: tuple = ()
+    #: Whether the rank honours relinquish requests between blocks (set by
+    #: the coordinator's ``rebalance=True``; off, the inbox is never
+    #: polled mid-run and the worker behaves exactly as before).
+    rebalance: bool = False
 
 
 @dataclass
@@ -435,7 +469,14 @@ def run_rank(
         def on_task() -> None:
             progress.tasks += 1
             tasks_counter.inc()
-            if fault is not None and progress.tasks == fault.at_task:
+            if fault is None:
+                return
+            if fault.kind == "slow":
+                # A live straggler: every task from at_task on is slow.
+                if progress.tasks >= fault.at_task:
+                    time.sleep(fault.delay_seconds)
+                return
+            if progress.tasks == fault.at_task:
                 if fault.kind == "kill":
                     os._exit(99)
                 if fault.kind == "abort":
@@ -464,6 +505,82 @@ def run_rank(
         else:
             on_event = None
 
+        # ---- rebalancing yield points -------------------------------
+        # ``skipped`` holds block positions this rank must not execute:
+        # the coordinator's exclusions from earlier attempts, plus any
+        # positions relinquished mid-run.  ``skip_block`` doubles as the
+        # inbox poll at every block boundary.
+        skipped: set[tuple[int, int]] = set(msg.excluded)
+        skip_block = None
+        telemetry_on = endpoint is not None and msg.heartbeat_interval > 0.0
+        if skipped or (msg.rebalance and endpoint is not None):
+            positions = [
+                (g, bi)
+                for g in range(msg.gpus_per_proc)
+                for bi in range(len(msg.proc.gpu_blocks(g)))
+            ]
+            pos_index = {p: n for n, p in enumerate(positions)}
+            restored_positions = {(g, bi) for g, bi, _ in msg.completed}
+
+            def skip_block(g: int, bi: int, block) -> bool:
+                """Poll the inbox at a block boundary; honour relinquishes.
+
+                A current-attempt :class:`RelinquishMsg` yields every
+                position not yet started (including this one) that is
+                neither journaled nor already skipped; the positions are
+                acked back so the coordinator knows exactly which blocks
+                it now owns.  A stale request is acked empty.
+
+                Protocol:
+                    recv relinquish: coordinator -> worker [data]
+                    send relinquished: worker -> coordinator [data]
+                """
+                if msg.rebalance and endpoint is not None:
+                    while True:
+                        try:
+                            _, req, _ = endpoint.recv_nowait()
+                        except Empty:
+                            break
+                        if not isinstance(req, RelinquishMsg):
+                            continue  # foreign message; not ours mid-run
+                        if req.attempt != msg.attempt:
+                            endpoint.send(
+                                COORDINATOR,
+                                ("relinquished", rank, req.attempt, ()),
+                            )
+                            continue
+                        here = pos_index[(g, bi)]
+                        remaining = tuple(
+                            p for p in positions[here:]
+                            if p not in skipped
+                            and p not in restored_positions
+                        )
+                        skipped.update(remaining)
+                        endpoint.send(
+                            COORDINATOR,
+                            ("relinquished", rank, msg.attempt, remaining),
+                        )
+                return (g, bi) in skipped
+
+        ckpt_on_block = on_block
+        if telemetry_on:
+
+            def on_block(g: int, bi: int, block, c_dev: dict) -> None:
+                """Report block completion out-of-band.
+
+                Protocol:
+                    send block_done: worker -> coordinator [telemetry]
+                """
+                if ckpt_on_block is not None:
+                    ckpt_on_block(g, bi, block, c_dev)
+                try:
+                    endpoint.send_telemetry(BlockDoneMsg(
+                        rank=rank, attempt=msg.attempt, gpu=g, block=bi,
+                        ntasks=block.ntasks,
+                    ))
+                except Exception:  # pragma: no cover - fabric torn down
+                    pass
+
         produced, stats = execute_proc_plan(
             msg.proc,
             lambda i, k: a_arena.get((i, k)),
@@ -479,6 +596,7 @@ def run_rank(
             clock=rec.now,
             restore_block=restore_block,
             on_block=on_block,
+            skip_block=skip_block,
         )
         stats.b_tiles_generated = b_source.generated_tiles()
 
@@ -528,28 +646,193 @@ def run_rank(
             arena.close()
 
 
+def execute_handoff_blocks(
+    blocks,
+    a_get_tile,
+    b_source,
+    *,
+    origin: int,
+    gpu_memory_bytes: int,
+    b_csr,
+    tau: float | None,
+    alpha: float,
+    on_block=None,
+):
+    """Execute blocks reclaimed from rank ``origin``; returns ``(C, stats)``.
+
+    The single body behind both handoff paths — a finished worker rank
+    and the coordinator's inline spare — mirroring the per-block section
+    of :func:`~repro.runtime.numeric.execute_proc_plan` exactly (same
+    :func:`~repro.runtime.numeric.execute_block` call, same CSR column
+    order, same eviction and memory discipline), so a handed-off block's
+    C tiles are bit-identical to the tiles the origin would have written.
+
+    ``blocks`` are ``(gpu, position, Block)`` triples in the origin's
+    plan coordinates; ``on_block`` receives them unchanged, so handoff
+    journal records land under the origin's identity.  Stats (including
+    ``per_proc_tasks``) are attributed to the origin: the merged run
+    totals must match the serial oracle regardless of who computed what.
+    """
+    stats = NumericStats()
+    produced: dict[tuple[int, int], np.ndarray] = {}
+    for g, bi, block in blocks:
+        mem = GpuMemory(gpu_memory_bytes)
+        block_name = f"block{bi}"
+        mem.reserve(block_name, block.b_bytes + block.c_bytes)
+        stats.h2d_bytes += block.b_bytes
+        cols_of_k = block_cols_of_k(block, b_csr)
+        c_dev = execute_block(
+            block,
+            block_name,
+            rank=origin,
+            a_get_tile=a_get_tile,
+            b=b_source,
+            cols_of_k=cols_of_k,
+            mem=mem,
+            stats=stats,
+            tau=tau,
+            alpha=alpha,
+        )
+        for (i, j), tile in c_dev.items():
+            produced[(i, j)] = tile
+            stats.d2h_bytes += tile.nbytes
+        if on_block is not None:
+            on_block(g, bi, block, c_dev)
+        if hasattr(b_source, "evict"):
+            for k, js in cols_of_k.items():
+                for j in js:
+                    b_source.evict(origin, k, j)
+        mem.release(block_name)
+        stats.gpu_peak_bytes = max(stats.gpu_peak_bytes, mem.peak)
+    stats.per_proc_tasks[origin] = stats.ntasks
+    return produced, stats
+
+
+def run_handoff(msg) -> tuple[dict, NumericStats]:
+    """Execute one :class:`~repro.dist.comm.HandoffMsg` on a helper rank.
+
+    Attaches the shared A arena and the handoff's dedicated C arena,
+    rebuilds the B source the origin would have used, and (when the run
+    checkpoints) journals each completed block under the *origin's* rank
+    into a ``.h<id>`` sidecar journal — store keys and record contents
+    identical to what the origin itself would have written, which is what
+    lets a resumed run replay the ownership transfer transparently.
+    """
+    registry = MetricsRegistry(enabled=False)
+    store = None
+    journal = None
+    attached: list[TileArena] = []
+    try:
+        if msg.store_dir is not None or msg.ckpt_dir is not None:
+            root = msg.store_dir or os.path.join(msg.ckpt_dir, "store")
+            store = TileStore(root, budget_bytes=msg.store_budget,
+                              metrics=registry)
+        on_block = None
+        if msg.ckpt_dir is not None:
+            journal = WritebackJournal(
+                msg.ckpt_dir, msg.origin, suffix=f".h{msg.handoff_id}"
+            )
+            _, on_block, _ = checkpoint_hooks(
+                store, journal, msg.run_hash, msg.origin, {}, registry
+            )
+
+        a_arena = TileArena.attach(msg.a_meta)
+        attached.append(a_arena)
+        kind, payload = msg.b_spec
+        if kind == "arena":
+            b_arena = TileArena.attach(payload)
+            attached.append(b_arena)
+            b_source = ArenaBSource(b_arena, metrics=registry)
+        else:
+            b_source = BService(
+                payload, budget_bytes=msg.gpu_memory_bytes, metrics=registry,
+                store=store, store_ns=f"b:{msg.b_hash}",
+            )
+        c_arena = TileArena.attach(msg.c_meta)
+        attached.append(c_arena)
+
+        produced, stats = execute_handoff_blocks(
+            msg.blocks,
+            lambda i, k: a_arena.get((i, k)),
+            b_source,
+            origin=msg.origin,
+            gpu_memory_bytes=msg.gpu_memory_bytes,
+            b_csr=msg.b_csr,
+            tau=msg.tau,
+            alpha=msg.alpha,
+            on_block=on_block,
+        )
+        stats.b_tiles_generated = b_source.generated_tiles()
+        c_index = {key: c_arena.put(key, tile) for key, tile in produced.items()}
+        return c_index, stats
+    finally:
+        if journal is not None:
+            journal.close()
+        if store is not None:
+            store.close()
+        for arena in attached:
+            arena.close()
+
+
 def worker_main(rank: int, endpoint: Endpoint) -> None:
-    """Process entry point: one scatter in, one report (or error) out.
+    """Process entry point: a dispatch loop over coordinator messages.
+
+    The first message is normally this rank's :class:`ScatterMsg`; after
+    reporting ``done`` the process stays in the loop as a rebalance
+    helper, ready to execute a :class:`~repro.dist.comm.HandoffMsg` of
+    blocks reclaimed from a straggler, until the coordinator terminates
+    it at teardown.  A :class:`~repro.dist.comm.RelinquishMsg` landing
+    here (rather than at a mid-run block boundary) raced against this
+    rank's completion or respawn — it is acked empty so the coordinator
+    can retire the request.
 
     Protocol:
         recv scatter: coordinator -> worker [data]
         send done: worker -> coordinator [data]
         send error: worker -> coordinator [data]
+        recv relinquish: coordinator -> worker [data]
+        send relinquished: worker -> coordinator [data]
+        recv handoff: coordinator -> worker [data]
+        send handoff_done: worker -> coordinator [data]
 
     The ``error`` message carries the attempt number of the scatter it
     was executing (``-1`` if the failure preceded the scatter), so the
     coordinator can discard reports from superseded attempts instead of
-    recovering a rank it already recovered.
+    recovering a rank it already recovered.  A failed handoff is reported
+    as a ``handoff_done`` with a ``None`` C index — the coordinator
+    re-executes those blocks on its inline spare.
     """
     t_spawn = time.monotonic()
     attempt = -1
     try:
-        _, msg, _ = endpoint.recv()
-        attempt = msg.attempt
-        report = run_rank(
-            msg, origin=t_spawn, recv_done=time.monotonic(), endpoint=endpoint
-        )
-        endpoint.send(COORDINATOR, ("done", rank, report))
+        while True:
+            _, msg, _ = endpoint.recv()
+            if isinstance(msg, ScatterMsg):
+                attempt = msg.attempt
+                report = run_rank(
+                    msg, origin=t_spawn, recv_done=time.monotonic(),
+                    endpoint=endpoint,
+                )
+                endpoint.send(COORDINATOR, ("done", rank, report))
+            elif isinstance(msg, RelinquishMsg):
+                endpoint.send(
+                    COORDINATOR, ("relinquished", rank, msg.attempt, ())
+                )
+            elif isinstance(msg, HandoffMsg):
+                try:
+                    c_index, stats = run_handoff(msg)
+                except Exception:  # noqa: BLE001 - helper failure is recoverable
+                    endpoint.send(
+                        COORDINATOR,
+                        ("handoff_done", rank, msg.handoff_id, None, None),
+                    )
+                else:
+                    endpoint.send(
+                        COORDINATOR,
+                        ("handoff_done", rank, msg.handoff_id, c_index, stats),
+                    )
+            else:
+                return  # unknown directive: exit quietly
     except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
         try:
             endpoint.send(

@@ -176,6 +176,7 @@ def execute_proc_plan(
     clock: Callable[[], float] | None = None,
     restore_block: Callable[[int, int, Block], dict | None] | None = None,
     on_block: Callable[[int, int, Block, dict], None] | None = None,
+    skip_block: Callable[[int, int, Block], bool] | None = None,
 ) -> tuple[dict[tuple[int, int], np.ndarray], NumericStats]:
     """Execute everything one process rank does; returns ``(C tiles, stats)``.
 
@@ -193,6 +194,12 @@ def execute_proc_plan(
     work.  Restored blocks are exactly the journaled ones, and journaled
     tiles are bit-identical to recomputed ones, so a resumed run's C
     equals an uninterrupted run's C bit for bit.
+
+    ``skip_block(g, bi, block)`` is the rebalancer's yield point, checked
+    *before* the restore hook at every block boundary: a ``True`` return
+    drops the block entirely (someone else now owns it — its tiles arrive
+    through that owner, so producing them here would violate the
+    one-producer-per-tile reduction invariant).
     """
     stats = NumericStats()
     produced: dict[tuple[int, int], np.ndarray] = {}
@@ -201,6 +208,8 @@ def execute_proc_plan(
         resource = f"gpu.{proc.rank}.{g}.comp"
         for bi, block in enumerate(proc.gpu_blocks(g)):
             block_name = f"block{bi}"
+            if skip_block is not None and skip_block(g, bi, block):
+                continue
             if restore_block is not None:
                 restored = restore_block(g, bi, block)
                 if restored is not None:

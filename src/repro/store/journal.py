@@ -30,6 +30,7 @@ same policy as :func:`repro.dist.health.read_events`.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
@@ -151,8 +152,20 @@ class CompletedBlock:
     tiles: tuple  # ((i, j), ...) C-tile keys the block produced
 
 
-def journal_path(ckpt_dir: str, rank: int) -> str:
-    return os.path.join(ckpt_dir, f"journal-rank{rank}.jsonl")
+def journal_path(ckpt_dir: str, rank: int, suffix: str = "") -> str:
+    return os.path.join(ckpt_dir, f"journal-rank{rank}{suffix}.jsonl")
+
+
+def _sidecar_paths(ckpt_dir: str, rank: int) -> list[str]:
+    """Handoff sidecar journals (``journal-rank<r>.h<id>.jsonl``), sorted.
+
+    Rebalancing hands a straggler's unstarted blocks to a helper, which
+    journals them under the *origin's* rank but in its own sidecar file —
+    two processes must never append to one journal.  Resume reads the
+    main journal plus every sidecar; record contents are identical.
+    """
+    pattern = os.path.join(ckpt_dir, f"journal-rank{rank}.h*.jsonl")
+    return sorted(glob.glob(pattern))
 
 
 class WritebackJournal:
@@ -161,10 +174,14 @@ class WritebackJournal:
     The writer appends exactly one fsynced JSON line per completed block,
     *after* the block's C tiles hit the store — so every record the reader
     accepts describes work that never needs to run again.
+
+    ``suffix`` names a handoff sidecar (``.h<id>``): a helper executing
+    blocks reclaimed from ``rank`` journals them under the origin's rank
+    without sharing the origin's file handle.
     """
 
-    def __init__(self, ckpt_dir: str, rank: int):
-        self.path = journal_path(ckpt_dir, rank)
+    def __init__(self, ckpt_dir: str, rank: int, suffix: str = ""):
+        self.path = journal_path(ckpt_dir, rank, suffix)
         self.rank = rank
         os.makedirs(ckpt_dir, exist_ok=True)
         # Append mode: a retried attempt extends its predecessor's journal
@@ -202,35 +219,42 @@ def read_journal(ckpt_dir: str, rank: int, run_hash: str) -> list[CompletedBlock
     torn multibyte characters, and records from other runs (a reused
     checkpoint directory after the operands changed — those are simply
     stale, not fatal; the run-hash namespace keeps their tiles separate).
+
+    Handoff sidecars (``journal-rank<r>.h*.jsonl``) are folded in after
+    the main journal: blocks a helper completed on the origin's behalf
+    resume exactly as if the origin had journaled them itself.
     """
-    path = journal_path(ckpt_dir, rank)
     out: list[CompletedBlock] = []
-    try:
-        with open(path, "rb") as fh:
-            raw = fh.read()
-    except FileNotFoundError:
-        return out
-    for line in raw.split(b"\n"):
-        line = line.strip()
-        if not line:
-            continue
+    paths = [journal_path(ckpt_dir, rank), *_sidecar_paths(ckpt_dir, rank)]
+    for path in paths:
         try:
-            rec = json.loads(line.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            continue  # torn line: the rank died mid-append
-        if not isinstance(rec, dict) or rec.get("run") != run_hash:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
             continue
-        try:
-            out.append(CompletedBlock(
-                rank=int(rec["rank"]),
-                gpu=int(rec["gpu"]),
-                block=int(rec["block"]),
-                chunks=int(rec.get("chunks", 0)),
-                ntasks=int(rec.get("ntasks", 0)),
-                tiles=tuple((int(i), int(j)) for i, j in rec.get("tiles", [])),
-            ))
-        except (KeyError, TypeError, ValueError):
-            continue  # malformed record: recompute that block instead
+        for line in raw.split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn line: the rank died mid-append
+            if not isinstance(rec, dict) or rec.get("run") != run_hash:
+                continue
+            try:
+                out.append(CompletedBlock(
+                    rank=int(rec["rank"]),
+                    gpu=int(rec["gpu"]),
+                    block=int(rec["block"]),
+                    chunks=int(rec.get("chunks", 0)),
+                    ntasks=int(rec.get("ntasks", 0)),
+                    tiles=tuple(
+                        (int(i), int(j)) for i, j in rec.get("tiles", [])
+                    ),
+                ))
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed record: recompute that block instead
     return out
 
 

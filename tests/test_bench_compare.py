@@ -100,6 +100,62 @@ class TestCompare:
         assert "problem size differs" in problems[0]
 
 
+def _skew():
+    return {
+        "workers": 3,
+        "slow_rank": 0,
+        "delay_s": 0.02,
+        "ntasks": 327,
+        "off_s": 5.0,
+        "on_s": 1.0,
+        "makespan_ratio": 5.0,
+        "blocks_rebalanced": 5,
+        "handoffs": 1,
+    }
+
+
+class TestSkewGate:
+    def _with_skew(self, **overrides):
+        payload = _baseline()
+        payload["skew"] = {**_skew(), **overrides}
+        return payload
+
+    def test_identical_skew_passes(self):
+        assert compare_mod.compare(
+            self._with_skew(), self._with_skew(), 0.15
+        ) == []
+
+    def test_skew_missing_from_current_fails(self):
+        problems = compare_mod.compare(self._with_skew(), _baseline(), 0.15)
+        assert problems == ["skew: scenario missing from current run"]
+
+    def test_new_skew_scenario_is_not_gated(self, capsys):
+        # A baseline that predates the scenario must not fail the gate.
+        assert compare_mod.compare(_baseline(), self._with_skew(), 0.15) == []
+        assert "not gated" in capsys.readouterr().out
+
+    def test_no_blocks_rebalanced_fails(self):
+        cur = self._with_skew(blocks_rebalanced=0)
+        problems = compare_mod.compare(self._with_skew(), cur, 0.15)
+        assert any("no blocks were rebalanced" in p for p in problems)
+
+    def test_makespan_ratio_collapse_fails(self):
+        cur = self._with_skew(makespan_ratio=1.01)
+        problems = compare_mod.compare(self._with_skew(), cur, 0.15)
+        assert any("no longer reduces the makespan" in p for p in problems)
+
+    def test_ratio_noise_above_floor_passes(self):
+        # The flag-latency jitter makes the ratio drift run to run; any
+        # clear improvement passes regardless of the baseline's value.
+        cur = self._with_skew(makespan_ratio=1.5)
+        assert compare_mod.compare(self._with_skew(), cur, 0.15) == []
+
+    def test_skew_task_drift_fails(self):
+        cur = self._with_skew(ntasks=328)
+        problems = compare_mod.compare(self._with_skew(), cur, 0.15)
+        assert any("plan drift" in p for p in problems)
+
+
 class TestCompareCli:
     def _write(self, tmp_path, name, payload):
         path = tmp_path / name

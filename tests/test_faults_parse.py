@@ -22,6 +22,18 @@ class TestParseValid:
         assert inj.kind == "stall"
         assert not inj.once
 
+    def test_slow_parse_is_persistent(self):
+        inj = FaultPlan.parse("0:3:slow").for_rank(0)
+        assert inj.kind == "slow"
+        assert not inj.once  # a slow rank stays slow, like abort
+        assert inj.delay_seconds > 0
+
+    def test_slow_helper(self):
+        inj = FaultPlan.slow(2, at_task=1, seconds=0.25).for_rank(2)
+        assert inj.kind == "slow"
+        assert inj.delay_seconds == 0.25
+        assert not inj.once
+
     def test_multiple_specs(self):
         plan = FaultPlan.parse("0:1:kill,2:5:delay")
         assert len(plan.injections) == 2
@@ -48,7 +60,9 @@ class TestParseMalformed:
             FaultPlan.parse(spec)
 
     def test_unknown_kind(self):
-        with pytest.raises(ValueError, match="expected kill, delay, stall or abort"):
+        with pytest.raises(
+            ValueError, match="expected kill, delay, stall, slow or abort"
+        ):
             FaultPlan.parse("0:5:explode")
 
     def test_empty_entry(self):

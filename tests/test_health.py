@@ -154,13 +154,117 @@ class TestStragglerDetection:
         h = self._three_ranks([100, 1])
         assert h.straggler_ranks(now=10.0) == []
 
-    def test_done_ranks_excluded_from_median(self):
+    def test_done_ranks_anchor_median(self):
+        # A finished fast rank keeps contributing its final rate to the
+        # median, so the slow rank stays flagged after the field thins —
+        # exactly when the rebalancer has an idle helper to offer.
         h = self._three_ranks([100, 100, 10])
         h.mark(0, "done")
-        assert h.straggler_ranks(now=10.0) == []  # only 2 active remain
+        assert h.straggler_ranks(now=10.0) == [2]
+
+    def test_all_done_flags_nothing(self):
+        h = self._three_ranks([100, 100, 10])
+        for r in range(3):
+            h.mark(r, "done")
+        assert h.straggler_ranks(now=10.0) == []
 
     def test_zero_median_is_noise(self):
         h = self._three_ranks([0, 0, 0])
+        assert h.straggler_ranks(now=10.0) == []
+
+    def test_windowed_rate_decays_for_fast_then_hung_rank(self):
+        # Rank 2 races through 90 tasks, then hangs on a huge block while
+        # still heartbeating.  Its lifetime average would coast above the
+        # threshold; the windowed rate collapses within rate_window beats.
+        h = _health(straggler_fraction=0.25)
+        h.rate_window_beats = 4
+        for r in range(3):
+            h.on_scatter(r, tasks_total=100, attempt=0, now=0.0)
+            h.ranks[r].rate_window = 4
+        for beat in range(1, 21):
+            now = float(beat)
+            for r in (0, 1):
+                _beat(h, r, seq=beat, tasks_done=5 * beat, now=now)
+            _beat(h, 2, seq=beat, tasks_done=min(90, 9 * beat), now=now)
+        # Lifetime average of rank 2 is 90/20 = 4.5 > 0.25 * 5; the
+        # 4-beat window has seen no progress at all.
+        assert h.ranks[2].rate(20.0) == 0.0
+        assert h.straggler_ranks(now=20.0) == [2]
+
+    def test_flagged_straggler_does_not_flicker_back_on_a_beat(self):
+        h = self._three_ranks([100, 100, 10])
+        assert h.straggler_ranks(now=10.0) == [2]
+        h.mark(2, "straggler")
+        _beat(h, 2, seq=2, tasks_done=11, now=10.5)
+        assert h.ranks[2].state == "straggler"  # still below threshold
+        h.mark(2, "running")  # the detector's recovery path clears it
+        assert h.ranks[2].state == "running"
+
+    def test_rate_window_is_trimmed(self):
+        h = _health()
+        h.on_scatter(0, tasks_total=100, attempt=0, now=0.0)
+        h.ranks[0].rate_window = 3
+        for beat in range(10):
+            _beat(h, 0, seq=beat, tasks_done=beat, now=float(beat))
+        assert len(h.ranks[0].samples) == 3
+        assert h.ranks[0].samples[0] == (7.0, 7)
+
+    def test_beatless_done_ranks_still_anchor_median(self):
+        # Regression: ranks 0 and 1 finish before their first heartbeat
+        # ever fires.  Without the synthesized baseline in on_done their
+        # rate was 0.0 (one sample, zero elapsed), the median collapsed,
+        # and the genuinely slow rank 2 was never flagged — exactly the
+        # moment two idle helpers were available to take its blocks.
+        h = _health(straggler_fraction=0.25)
+        for r in range(3):
+            h.on_scatter(r, tasks_total=100, attempt=0, now=0.0)
+        h.on_done(0, now=1.0)
+        h.on_done(1, now=1.0)
+        _beat(h, 2, seq=0, tasks_done=0, now=0.0)
+        _beat(h, 2, seq=1, tasks_done=10, now=10.0)
+        # the anchor is the done rank's *final* rate, frozen at its
+        # last signal: 100 tasks in 1s
+        assert h.ranks[0].rate(h.ranks[0].last_signal) == pytest.approx(100.0)
+        assert h.straggler_ranks(now=10.0) == [2]
+
+    def test_flag_recover_reflag_lifecycle(self):
+        # A rank that recovers (coordinator clears the flag and marks it
+        # running) must be flaggable *again* if it slows back down — the
+        # old set-once bookkeeping silenced every later excursion.
+        h = _health(straggler_fraction=0.25)
+        for r in range(3):
+            h.on_scatter(r, tasks_total=100, attempt=0, now=0.0)
+            h.ranks[r].rate_window = 3
+
+        def tick(beat, slow_tasks):
+            now = float(beat)
+            for r in (0, 1):
+                _beat(h, r, seq=beat, tasks_done=10 * beat, now=now)
+            _beat(h, 2, seq=beat, tasks_done=slow_tasks, now=now)
+            return now
+
+        # slow phase: 1 task/beat against the field's 10 -> flagged
+        for beat in range(1, 5):
+            now = tick(beat, slow_tasks=beat)
+        assert h.straggler_ranks(now=now) == [2]
+        h.mark(2, "straggler")
+        # recovery: three fast beats push the 3-beat window to 10/s
+        for beat, tasks in ((5, 14), (6, 24), (7, 34)):
+            now = tick(beat, slow_tasks=tasks)
+        assert h.straggler_ranks(now=now) == []
+        h.mark(2, "running")  # the coordinator's recovery path
+        # relapse: the window decays again and the re-flag fires
+        for beat, tasks in ((8, 35), (9, 36), (10, 37)):
+            now = tick(beat, slow_tasks=tasks)
+        assert h.straggler_ranks(now=now) == [2]
+
+    def test_rescatter_clears_straggler_state(self):
+        # A flagged rank that is retried gets a fresh RankHealth: the new
+        # attempt starts from "scattered", not from the stale flag.
+        h = self._three_ranks([100, 100, 10])
+        h.mark(2, "straggler")
+        h.on_scatter(2, tasks_total=100, attempt=1, now=10.0)
+        assert h.ranks[2].state == "scattered"
         assert h.straggler_ranks(now=10.0) == []
 
 

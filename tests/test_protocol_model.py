@@ -128,6 +128,87 @@ class TestDisciplineMutations:
         assert "telemetry" in result.report.by_rule("M404")[0].message
 
 
+class TestRebalanceModel:
+    """The steal excursion: M407/M408 proven clean, mutations convicted."""
+
+    def test_steal_scenarios_are_swept(self):
+        steals = [sc for sc in default_scenarios() if sc.steal]
+        assert len(steals) >= 10
+        kinds = {sc.fault.kind for sc in steals if sc.fault is not None}
+        assert kinds == {"kill", "stall", "raise", "abort"}
+
+    def test_steal_label(self):
+        sc = Scenario(2, FaultSpec(0, "kill", 1), steal=True)
+        assert sc.label() == "ranks=2 fault=kill@r0u1 steal"
+
+    def test_steal_with_faults_is_clean(self, model):
+        """M407/M408 over every steal x kill/stall/abort interleaving."""
+        scenarios = [
+            Scenario(2, FaultSpec(0, kind, 1, once=(kind != "abort")), ckpt,
+                     steal=True)
+            for kind in ("kill", "stall", "abort")
+            for ckpt in (False, True)
+        ]
+        result = check_protocol(model, scenarios)
+        assert result.ok, result.report.render()
+        # ckpt aborts leave journals (including the steal's sidecar
+        # variant): the resume sub-scenarios must run and pass too
+        assert any("resume=" in label for label, _ in result.per_scenario)
+
+    def test_three_rank_steal_is_clean(self, model):
+        small = replace(model, max_extra_beats=0)
+        result = check_protocol(
+            small, [Scenario(3, FaultSpec(0, "kill", 1), steal=True)]
+        )
+        assert result.ok, result.report.render()
+
+    def test_worker_ignoring_relinquish_is_convicted(self, model):
+        """A running worker with no relinquish yield point strands the
+        request — M408's failure mode, convicted as unhandled."""
+        mutated = model.without("worker", "running", "recv:relinquish")
+        result = check_protocol(mutated, [Scenario(1, None, steal=True)])
+        assert "M402" in result.report.rules_fired()
+        assert "recv:relinquish" in result.report.by_rule("M402")[0].message
+
+    def test_finished_worker_must_still_ack_relinquish(self, model):
+        """The dispatch loop's stale-ack edge is load-bearing: drop it
+        and a relinquish racing the rank's own report goes unhandled."""
+        mutated = model.without("worker", "idle_done", "recv:relinquish")
+        result = check_protocol(mutated, [Scenario(1, None, steal=True)])
+        assert "M402" in result.report.rules_fired()
+
+    def test_dropped_dispatch_edge_loses_stolen_blocks(self, model):
+        """Without recv:relinquished the yielded blocks have no owner:
+        the ack wedges the gather queue and the run deadlocks."""
+        mutated = model.without(
+            "coordinator", "supervising", "recv:relinquished"
+        )
+        result = check_protocol(mutated, [Scenario(2, None, steal=True)])
+        fired = result.report.rules_fired()
+        assert "M402" in fired
+        assert "M401" in fired
+
+    def test_dropped_handoff_consumption_wedges(self, model):
+        mutated = model.without("worker", "idle_done", "recv:handoff")
+        result = check_protocol(mutated, [Scenario(2, None, steal=True)])
+        fired = result.report.rules_fired()
+        assert "M401" in fired or "M402" in fired
+
+    def test_dropped_handoff_absorb_is_convicted(self, model):
+        mutated = model.without(
+            "coordinator", "supervising", "recv:handoff_done"
+        )
+        result = check_protocol(mutated, [Scenario(2, None, steal=True)])
+        assert "M402" in result.report.rules_fired()
+
+    def test_dropped_block_done_fold_is_convicted(self, model):
+        mutated = model.without(
+            "coordinator", "supervising", "recv:block_done"
+        )
+        result = check_protocol(mutated, [Scenario(1)])
+        assert "M402" in result.report.rules_fired()
+
+
 class TestScenarioVocabulary:
     def test_labels_are_descriptive(self):
         sc = Scenario(2, FaultSpec(0, "stall", 1, once=False), checkpoint=True)
