@@ -1,11 +1,11 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist trace-smoke resume-smoke bench-smoke analyze model-check docs-rules bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke explain-smoke resume-smoke bench-smoke analyze model-check docs-rules bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
-test: analyze model-check resume-smoke
+test: analyze model-check resume-smoke explain-smoke
 	pytest tests/
 
 # Static analysis gate: the AST concurrency lint over the source tree, then
@@ -60,10 +60,19 @@ resume-smoke:
 	PYTHONPATH=src python -m repro store stats /tmp/repro-ckpt/store
 
 # Observability smoke test: trace a tiny 2-worker run end to end, then
-# prove the artifact is a loadable Chrome trace (non-empty "X" events).
+# prove the artifact is a loadable Chrome trace (non-empty "X" spans plus
+# the "M" metadata events that label rank lanes in Perfetto).
 trace-smoke:
 	PYTHONPATH=src timeout 120 python -m repro trace --procs 2 --m 150 --k 450 -o /tmp/repro-trace.json
-	PYTHONPATH=src python -c "import json; evs = json.load(open('/tmp/repro-trace.json'))['traceEvents']; assert evs and all(e['ph'] == 'X' and e['dur'] >= 0 for e in evs), 'bad trace'; print(f'trace-smoke OK: {len(evs)} events')"
+	PYTHONPATH=src python -c "import json; evs = json.load(open('/tmp/repro-trace.json'))['traceEvents']; xs = [e for e in evs if e['ph'] == 'X']; ms = [e for e in evs if e['ph'] == 'M']; assert xs and all(e['dur'] >= 0 for e in xs), 'bad trace'; assert all(e['ph'] in 'XM' for e in evs), 'unknown phase'; assert any(e['name'] == 'process_name' for e in ms), 'missing rank labels'; print(f'trace-smoke OK: {len(xs)} spans, {len(ms)} metadata events')"
+
+# Performance-attribution smoke test: a traced 3-worker selftest, then
+# `repro explain` over the artifact — the critical path must be non-empty
+# and cover most of the makespan, with an HTML report for CI artifacts.
+explain-smoke:
+	PYTHONPATH=src timeout 300 python -m repro selftest --procs 3 --trace /tmp/repro-run.json
+	PYTHONPATH=src timeout 120 python -m repro explain --trace /tmp/repro-run.json --json /tmp/repro-explain.json --html /tmp/repro-explain.html
+	PYTHONPATH=src python -c "import json; a = json.load(open('/tmp/repro-explain.json'))['attribution']; assert a['critical_path'], 'empty critical path'; assert a['coverage'] >= 0.5, f\"low path coverage {a['coverage']:.2f}\"; print(f\"explain-smoke OK: {len(a['critical_path'])} segments, {a['coverage']:.0%} coverage\")"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -88,6 +88,10 @@ def sweep_payload(small=False) -> dict:
     points = []
     for nworkers, t_serial, t_dist, report in _sweep(small=small, repeats=3):
         tasks = report.stats.per_proc_tasks
+        # Whole-trace busy seconds per blame bucket (gemm, qwait, ...): the
+        # regression gate prints their growth when the speedup regresses,
+        # so a CI failure names the culprit instead of just the ratio.
+        buckets = report.attribution().trace_buckets
         points.append(
             {
                 "workers": nworkers,
@@ -97,6 +101,7 @@ def sweep_payload(small=False) -> dict:
                 "ntasks": report.stats.ntasks,
                 "tasks_per_rank": {str(r): tasks[r] for r in sorted(tasks)},
                 "heartbeats": report.health.heartbeats if report.health else 0,
+                "buckets": {b: round(s, 4) for b, s in sorted(buckets.items())},
             }
         )
     return {"bench": "dist_executor", "small": bool(small), "points": points}

@@ -17,6 +17,13 @@ Getting faster never fails the gate (improvements are reported, not
 punished).  ``--update`` replaces the baseline with the current result
 and exits 0 — the "ratify the new performance" escape hatch after a
 deliberate change.
+
+Schema drift degrades gracefully: a scenario key missing from either
+side (an old baseline predating a new field, or vice versa) prints a
+warning and skips that one check instead of crashing — the gate exits
+nonzero only on an actual regression.  When both sides carry per-bucket
+busy seconds (``buckets``, from the traced run's blame attribution), a
+speedup regression also reports *what got slower* (gemm, qwait, ...).
 """
 
 from __future__ import annotations
@@ -32,11 +39,53 @@ def load(path: str) -> dict:
         return json.load(fh)
 
 
+def _have(scope: str, base: dict, cur: dict, *keys: str) -> bool:
+    """True when every key is present on both sides; warns and skips not.
+
+    A missing key means the two files were produced by different harness
+    versions — that is schema drift to warn about, not a perf regression
+    to fail on (``--update`` re-records the baseline and restores the
+    check).
+    """
+    ok = True
+    for side_name, side in (("baseline", base), ("current", cur)):
+        for k in keys:
+            if k not in side:
+                print(
+                    f"warning: {scope}: {side_name} lacks {k!r}; check "
+                    f"skipped (re-record the baseline with --update to "
+                    f"restore this gate)"
+                )
+                ok = False
+    return ok
+
+
+def _bucket_blame(base: dict, cur: dict) -> str:
+    """'what got slower' from two points' per-bucket busy seconds, or ''."""
+    bb, cb = base.get("buckets"), cur.get("buckets")
+    if not bb or not cb:
+        return ""
+    grew = sorted(
+        ((b, cb.get(b, 0.0) - bb.get(b, 0.0)) for b in set(bb) | set(cb)),
+        key=lambda kv: -kv[1],
+    )
+    grew = [(b, d) for b, d in grew if d > 0]
+    if not grew:
+        return ""
+    return "; what got slower: " + ", ".join(
+        f"{b} +{d:.3f}s" for b, d in grew[:4]
+    )
+
+
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Return the list of regression messages (empty = gate passes)."""
     problems: list[str] = []
-    base_points = {pt["workers"]: pt for pt in baseline.get("points", [])}
-    cur_points = {pt["workers"]: pt for pt in current.get("points", [])}
+    base_points = {
+        pt["workers"]: pt for pt in baseline.get("points", []) if "workers" in pt
+    }
+    cur_points = {
+        pt["workers"]: pt for pt in current.get("points", []) if "workers" in pt
+    }
 
     if baseline.get("small") != current.get("small"):
         problems.append(
@@ -50,33 +99,40 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
             problems.append(f"workers={workers}: point missing from current run")
             continue
         base, cur = base_points[workers], cur_points[workers]
+        scope = f"workers={workers}"
 
-        if cur["ntasks"] != base["ntasks"]:
+        if _have(scope, base, cur, "ntasks") and cur["ntasks"] != base["ntasks"]:
             problems.append(
                 f"workers={workers}: task count changed "
                 f"{base['ntasks']} -> {cur['ntasks']} (plan drift)"
             )
-        if cur["tasks_per_rank"] != base["tasks_per_rank"]:
+        if (
+            _have(scope, base, cur, "tasks_per_rank")
+            and cur["tasks_per_rank"] != base["tasks_per_rank"]
+        ):
             problems.append(
                 f"workers={workers}: per-rank task split changed "
                 f"{base['tasks_per_rank']} -> {cur['tasks_per_rank']} "
                 f"(column assignment drift)"
             )
 
-        floor = base["speedup"] * (1.0 - tolerance)
-        if cur["speedup"] < floor:
-            problems.append(
-                f"workers={workers}: speedup regressed "
-                f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
-                f"(> {tolerance:.0%} below baseline; dist time "
-                f"{base['dist_s']:.2f}s -> {cur['dist_s']:.2f}s)"
-            )
-        elif cur["speedup"] > base["speedup"] * (1.0 + tolerance):
-            print(
-                f"workers={workers}: speedup improved "
-                f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
-                f"(consider --update to ratify)"
-            )
+        if _have(scope, base, cur, "speedup"):
+            floor = base["speedup"] * (1.0 - tolerance)
+            if cur["speedup"] < floor:
+                problems.append(
+                    f"workers={workers}: speedup regressed "
+                    f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                    f"(> {tolerance:.0%} below baseline; dist time "
+                    f"{base.get('dist_s', float('nan')):.2f}s -> "
+                    f"{cur.get('dist_s', float('nan')):.2f}s)"
+                    + _bucket_blame(base, cur)
+                )
+            elif cur["speedup"] > base["speedup"] * (1.0 + tolerance):
+                print(
+                    f"workers={workers}: speedup improved "
+                    f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                    f"(consider --update to ratify)"
+                )
 
     for workers in sorted(set(cur_points) - set(base_points)):
         print(f"workers={workers}: new point (not in baseline, not gated)")
@@ -101,17 +157,17 @@ def _compare_skew(base: dict | None, cur: dict | None) -> list[str]:
     if cur is None:
         return ["skew: scenario missing from current run"]
     problems = []
-    if cur["ntasks"] != base["ntasks"]:
+    if _have("skew", base, cur, "ntasks") and cur["ntasks"] != base["ntasks"]:
         problems.append(
             f"skew: task count changed {base['ntasks']} -> {cur['ntasks']} "
             f"(plan drift)"
         )
-    if cur["blocks_rebalanced"] <= 0:
+    if _have("skew", base, cur, "blocks_rebalanced") and cur["blocks_rebalanced"] <= 0:
         problems.append(
             "skew: no blocks were rebalanced (the straggler was never "
             "acted on)"
         )
-    if cur["makespan_ratio"] < 1.05:
+    if _have("skew", base, cur, "makespan_ratio") and cur["makespan_ratio"] < 1.05:
         problems.append(
             f"skew: rebalancing no longer reduces the makespan "
             f"(off/on ratio {cur['makespan_ratio']:.2f}x, want >= 1.05x; "

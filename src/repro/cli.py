@@ -10,6 +10,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``selftest``   — numeric end-to-end check of the distributed plan;
 * ``trace``      — run a problem on the real multi-process executor and
   write its merged per-rank Chrome trace plus a metrics summary;
+* ``explain``    — performance attribution of a traced run: critical-path
+  blame buckets, model-vs-measured roofline audit, and (with
+  ``--baseline``) a run-to-run diff of what got slower;
 * ``monitor``    — render a run's live per-rank health table from its
   ``run-events.jsonl`` event log (``--follow`` tails a running job);
 * ``metrics``    — run a small distributed job and print its merged
@@ -184,6 +187,16 @@ def _cmd_selftest(args) -> int:
         exact = np.array_equal(c_dist.to_dense(), c_serial.to_dense())
         print(f"distributed executor ran {report.summary()}")
         print(f"per-rank tasks: {dict(sorted(report.stats.per_proc_tasks.items()))}")
+        if getattr(args, "trace", None):
+            _write_artifact(
+                args.trace, report,
+                meta={
+                    "command": "selftest", "procs": args.procs,
+                    "seed": args.seed, "fault": args.inject_fault or "",
+                },
+            )
+            print(f"wrote run artifact {args.trace} "
+                  f"(analyze with: repro explain --trace {args.trace})")
         if persist:
             # Generated B has no dense reference to compare against; the
             # bit-exact serial oracle (same collection) is the check.
@@ -218,6 +231,19 @@ def _cmd_selftest(args) -> int:
     return 0 if ok else 1
 
 
+def _write_artifact(path: str, report, meta: dict) -> None:
+    """Write a run's enriched Chrome-trace artifact from its DistReport."""
+    from repro.perf import write_run_artifact
+
+    write_run_artifact(
+        path,
+        report.trace,
+        model=report.model,
+        comm_link_bytes=dict(report.comm.link_bytes),
+        meta=meta,
+    )
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -233,24 +259,120 @@ def _cmd_trace(args) -> int:
     _, report = psgemm_distributed(
         a, b, summit(args.procs), p=args.procs, trace=True
     )
-    payload = {
-        "traceEvents": report.trace.to_chrome_trace(),
-        "displayTimeUnit": "ms",
-    }
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh)
+    _write_artifact(
+        args.output, report,
+        meta={"command": "trace", "procs": args.procs, "seed": args.seed},
+    )
     # Parse the artifact back: a trace that Perfetto cannot load is a bug.
+    # Metadata ("M") events label rank lanes; the spans are the "X" events.
     with open(args.output, encoding="utf-8") as fh:
         parsed = json.load(fh)
     events = parsed["traceEvents"]
-    if not events or any(
-        ev.get("ph") != "X" or "ts" not in ev or "dur" not in ev for ev in events
-    ):
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    if not spans or any(
+        ev.get("ph") not in ("X", "M") for ev in events
+    ) or any("ts" not in ev or "dur" not in ev for ev in spans):
         print(f"error: {args.output} is not a valid Chrome trace")
         return 1
-    print(f"wrote {args.output}: {len(events)} span(s) across "
+    print(f"wrote {args.output}: {len(spans)} span(s) across "
           f"{report.nworkers} rank(s)")
     print(report.observability_summary())
+    return 0
+
+
+def _parse_band(text: str) -> tuple[float, float]:
+    lo, _, hi = text.partition(":")
+    try:
+        band = (float(lo), float(hi))
+    except ValueError:
+        raise SystemExit(f"error: --band must be LO:HI, got {text!r}")
+    if band[0] > band[1]:
+        raise SystemExit(f"error: --band lower bound exceeds upper ({text!r})")
+    return band
+
+
+def _events_digest(path: str) -> str:
+    """A one-screen life-cycle digest of a run's JSONL event log."""
+    from collections import Counter
+
+    from repro.dist import read_events
+
+    events = read_events(path)
+    if not events:
+        return f"{path}: no events"
+    kinds = Counter(ev.get("event", "?") for ev in events)
+    span = events[-1].get("t", 0.0) - events[0].get("t", 0.0)
+    lines = [
+        f"{path}: {len(events)} event(s) over {span:.2f} s — "
+        + ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+    ]
+    for ev in events:
+        if ev.get("event") in ("stalled", "retry", "reassigned", "handoff"):
+            lines.append(
+                f"  t={ev.get('t', 0.0):.2f}s {ev['event']}: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(ev.items())
+                    if k not in ("event", "t")
+                )
+            )
+    return "\n".join(lines)
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.perf import (
+        attribute,
+        audit_run,
+        diff_attributions,
+        html_report,
+        read_run_artifact,
+        text_report,
+    )
+
+    band = _parse_band(args.band) if args.band else None
+    art = read_run_artifact(args.trace)
+    if not art.trace.events:
+        print(f"error: {args.trace} holds no spans (was the run traced?)")
+        return 1
+    attribution = attribute(art.trace)
+    audit = audit_run(
+        art.trace, art.model,
+        comm_link_bytes=art.links or None,
+        **({"band": band} if band else {}),
+    )
+    trace_diff = None
+    if args.baseline:
+        base = read_run_artifact(args.baseline)
+        if not base.trace.events:
+            print(f"error: baseline {args.baseline} holds no spans")
+            return 1
+        trace_diff = diff_attributions(
+            attribute(base.trace), attribution,
+            base_hash=base.plan_hash, cur_hash=art.plan_hash,
+        )
+    print(text_report(attribution, audit, trace_diff, title=args.trace))
+    if args.events:
+        print()
+        print(_events_digest(args.events))
+    if args.json:
+        payload = {
+            "trace": args.trace,
+            "attribution": attribution.to_dict(),
+            "audit": audit.to_dict(),
+            "diff": trace_diff.to_dict() if trace_diff else None,
+            "meta": art.meta,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {args.json}")
+    if args.html:
+        page = html_report(
+            art.trace, attribution, audit, trace_diff, title=args.trace
+        )
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(page)
+        print(f"wrote {args.html}")
     return 0
 
 
@@ -514,6 +636,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="with --procs: persist generated B tiles to a "
                          "content-addressed store at DIR (second run hits "
                          "instead of regenerating)")
+    st.add_argument("--trace", metavar="PATH",
+                    help="with --procs: write the run's enriched Chrome-trace "
+                         "artifact (spans + roofline model + comm bytes) to "
+                         "PATH for `repro explain`")
     st.set_defaults(func=_cmd_selftest)
 
     tr = sub.add_parser(
@@ -530,6 +656,30 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--k", type=int, default=900,
                     help="inner dimension (problem size)")
     tr.set_defaults(func=_cmd_trace)
+
+    exp = sub.add_parser(
+        "explain",
+        help="attribute a traced run: critical path, blame buckets, "
+             "model-vs-measured audit, optional run-to-run diff",
+    )
+    exp.add_argument("--trace", required=True, metavar="PATH",
+                     help="run artifact to analyze (from `repro trace -o` or "
+                          "`repro selftest --trace`)")
+    exp.add_argument("--baseline", metavar="PATH",
+                     help="a second run artifact of the same plan to diff "
+                          "against (attributes the makespan delta to "
+                          "buckets/ranks)")
+    exp.add_argument("--events", metavar="PATH",
+                     help="also digest the run's JSONL life-cycle event log")
+    exp.add_argument("--band", metavar="LO:HI",
+                     help="relative roofline band; tasks/ranks outside "
+                          "median*LO..median*HI are flagged (default 0.5:2.0)")
+    exp.add_argument("--json", metavar="PATH",
+                     help="write the full analysis as JSON to PATH")
+    exp.add_argument("--html", metavar="PATH",
+                     help="write a self-contained HTML report (timeline with "
+                          "the critical path, bucket bars, audit table)")
+    exp.set_defaults(func=_cmd_explain)
 
     mo = sub.add_parser(
         "monitor",

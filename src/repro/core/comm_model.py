@@ -51,6 +51,26 @@ class CommReport:
         )
 
 
+def realized_a_recv_bytes(
+    link_bytes: dict[tuple[int, int], int], nranks: int
+) -> dict[int, int]:
+    """Per-rank A bytes actually charged to worker->worker links.
+
+    ``link_bytes`` is :attr:`repro.dist.comm.CommStats.link_bytes`:
+    ``(src, dst)`` keyed byte counts where the coordinator is ``-1``.
+    Worker->worker links carry the grid-row A broadcast (and nothing
+    else), so summing a rank's incoming non-coordinator traffic yields
+    its realized ``a_recv_bytes`` — the measured twin of the inspector's
+    :func:`~repro.core.inspector.expected_comm_volumes` prediction the
+    perf audit compares against.
+    """
+    out = {r: 0 for r in range(nranks)}
+    for (src, dst), nbytes in link_bytes.items():
+        if src >= 0 and 0 <= dst < nranks:
+            out[dst] += int(nbytes)
+    return out
+
+
 def communication_volumes(plan: ExecutionPlan) -> CommReport:
     """Collect the exact volumes the inspector computed into a report."""
     procs = plan.procs

@@ -59,6 +59,10 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.perf import Attribution, PerfModel, RooflineAudit
 
 from repro.core.plan import ExecutionPlan
 from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
@@ -151,6 +155,12 @@ class DistReport:
     handoffs: int = 0
     blocks_rebalanced: int = 0
     tasks_rebalanced: int = 0
+    #: Predicted-cost model of the executed plan (when tracing was on);
+    #: feeds :meth:`audit` and ``repro explain``.
+    model: "PerfModel | None" = None
+    #: Merged recorder counters from every rank (dropped.<resource>
+    #: seconds, bytes.* accumulators, B-service hit counts, ...).
+    span_counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def span_dropped(self) -> int:
@@ -253,11 +263,37 @@ class DistReport:
                 f"({fmt_bytes(self.comm.telemetry_total())})"
             )
         if self.spans_dropped:
+            lost = sum(
+                v for k, v in self.span_counters.items()
+                if k.startswith("dropped.")
+            )
             lines.append(
-                f"WARNING: {self.spans_dropped} spans dropped at the recorder bound"
+                f"WARNING: {self.spans_dropped} spans dropped at the recorder "
+                f"bound" + (f" ({fmt_time(lost)} of busy time lost)" if lost else "")
             )
         lines.append(self.comm.table())
         return "\n".join(lines)
+
+    # -- performance attribution (repro.perf) --------------------------------
+
+    def attribution(self) -> "Attribution":
+        """Critical-path blame buckets of the merged trace (see
+        :func:`repro.perf.attribute`)."""
+        from repro.perf import attribute
+
+        return attribute(self.trace)
+
+    def audit(self, band: tuple[float, float] | None = None) -> "RooflineAudit":
+        """Model-vs-measured audit of the run (see
+        :func:`repro.perf.audit_run`).  Empty when the run was untraced."""
+        from repro.perf import DEFAULT_BAND, audit_run
+
+        return audit_run(
+            self.trace,
+            self.model,
+            comm_link_bytes=dict(self.comm.link_bytes),
+            band=band if band is not None else DEFAULT_BAND,
+        )
 
 
 def _start_method() -> str:
@@ -459,6 +495,14 @@ def execute_plan_distributed(
 
     arenas: list[TileArena] = []
     workers: dict[int, mp.Process] = {}
+    # clock() stamps bracketing each rank's life outside its own recorder:
+    # ``spawn_clock`` at proc.start(), ``report_clock`` at done-report
+    # receipt.  At merge time the windows they bound against the worker's
+    # own span extent become measured ``spawn.<rank>`` / ``report.<rank>``
+    # spans (process startup; report serialization + shipping) instead of
+    # unattributable idle on the critical path.
+    spawn_clock: dict[int, float] = {}
+    report_clock: dict[int, float] = {}
     try:
         # ---- pack operands into shared memory -----------------------------
         with rec.span("pack.a", "net.-1"):
@@ -573,8 +617,9 @@ def execute_plan_distributed(
                 rebalance=rebalance,
             )
             t_send = clock()
-            coord.send(rank, msg)
+            sent = coord.send(rank, msg)
             rec.record(f"scatter.{rank}", f"net.{rank}", t_send, clock())
+            rec.count("bytes.scatter", sent)
             health.on_scatter(
                 rank, plan.procs[rank].ntasks - stolen_tasks(rank), attempt,
                 time.monotonic(),
@@ -586,6 +631,7 @@ def execute_plan_distributed(
             )
 
         def spawn(rank: int) -> None:
+            spawn_clock[rank] = clock()
             proc = ctx.Process(
                 target=worker_main, args=(rank, comm.endpoint(rank)), daemon=True
             )
@@ -1017,6 +1063,7 @@ def execute_plan_distributed(
                 # protocol model's recv:done:stale -> discard edge.
                 if rank in pending and msg[2].attempt == attempts[rank] - 1:
                     reports[rank] = msg[2]
+                    report_clock[rank] = clock()
                     pending.discard(rank)
                     suspects.pop(rank, None)
                     # A done report supersedes any relinquish in flight to
@@ -1174,15 +1221,33 @@ def execute_plan_distributed(
         run_trace = Trace()
         run_trace.extend(rec.spans)
         spans_dropped = rec.dropped
+        span_counters: dict[str, float] = dict(rec.counters)
         for rank in range(nranks):
             stream = reports[rank].spans
             if stream is not None:
                 # Re-base the rank's monotonic clock onto the coordinator's
                 # via the two recorders' wall-clock origin samples.
-                run_trace.extend(
-                    stream.spans, offset=stream.wall_origin - rec.wall_origin
-                )
+                offset = stream.wall_origin - rec.wall_origin
+                run_trace.extend(stream.spans, offset=offset)
                 spans_dropped += stream.dropped
+                for key, val in stream.counters.items():
+                    span_counters[key] = span_counters.get(key, 0.0) + val
+                t_spawn = spawn_clock.get(rank)
+                if stream.spans and t_spawn is not None and offset > t_spawn:
+                    # The measured process-startup window: proc.start() on
+                    # the coordinator's clock up to the worker recorder's
+                    # origin (its own spans begin at ~0).
+                    run_trace.add(f"spawn.{rank}", f"cpu.{rank}", t_spawn, offset)
+                t_report = report_clock.get(rank)
+                if stream.spans and t_report is not None:
+                    # ... and the report-shipping window: the worker's last
+                    # recorded span to the coordinator's receipt (report
+                    # pickling + queue transfer).
+                    last = max(e for _, _, _, e in stream.spans) + offset
+                    if t_report > last:
+                        run_trace.add(
+                            f"report.{rank}", f"net.{rank}", last, t_report
+                        )
             comm_stats.absorb(reports[rank].link_bytes)
         comm_stats.absorb(coord.link_bytes, coord.messages)
         registry.counter(
@@ -1192,6 +1257,17 @@ def execute_plan_distributed(
         merged_metrics = MetricsSnapshot.merge(
             [last_metrics[r] for r in sorted(last_metrics)] + [registry.snapshot()]
         ) if metrics else None
+
+        perf_model = None
+        if trace:
+            # The predicted-cost twin of the measured trace: cheap to build
+            # (reads stored plan aggregates) and what `repro explain` audits
+            # the run against.
+            from repro.perf import PerfModel
+
+            perf_model = PerfModel.from_plan(
+                plan, plan_hash=plan_hash or plan_fingerprint(plan)
+            )
 
         dist_report = DistReport(
             stats=stats,
@@ -1224,6 +1300,8 @@ def execute_plan_distributed(
             handoffs=len(handoff_results),
             blocks_rebalanced=sum(len(s) for s in stolen_blocks.values()),
             tasks_rebalanced=sum(stolen_tasks(r) for r in stolen_blocks),
+            model=perf_model,
+            span_counters=span_counters,
         )
         events.emit(
             "done",

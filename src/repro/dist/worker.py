@@ -604,6 +604,8 @@ def run_rank(
         with rec.span(f"writeback.{rank}", f"net.{rank}"):
             for key, tile in produced.items():
                 c_index[key] = c_arena.put(key, tile)
+        if rec.enabled:
+            rec.count("bytes.writeback", sum(t.nbytes for t in produced.values()))
 
         if registry.enabled:
             registry.counter(

@@ -1,0 +1,115 @@
+"""The run artifact: one self-describing JSON file per traced run.
+
+The file doubles as a Chrome/Perfetto trace and as the perf toolchain's
+exchange format.  Top level::
+
+    {
+      "traceEvents": [...],          # standard Chrome events ("M" + "X")
+      "displayTimeUnit": "ms",
+      "repro": {                     # ignored by trace viewers
+        "version": 1,
+        "plan": "<plan fingerprint>",
+        "makespan": 4.2,
+        "model": {...},              # PerfModel.to_dict(), optional
+        "links": [[src, dst, bytes], ...],   # CommStats.link_bytes
+        "meta": {...}                # free-form run labels
+      }
+    }
+
+``repro explain`` (and the bench harness) read the same file back with
+:func:`read_run_artifact`: the measured trace is reconstructed from the
+"X" events, the model and realized link bytes from the ``repro`` key.
+Dropping the file into ``ui.perfetto.dev`` still works — viewers ignore
+unknown top-level keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.perf.model import PerfModel
+from repro.runtime.tracing import Trace
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class RunArtifact:
+    """One traced run, as read back from disk."""
+
+    trace: Trace
+    model: PerfModel | None = None
+    links: dict[tuple[int, int], int] = field(default_factory=dict)
+    plan_hash: str = ""
+    makespan: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+def write_run_artifact(
+    path: str,
+    trace: Trace,
+    model: PerfModel | None = None,
+    comm_link_bytes: dict[tuple[int, int], int] | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Write the enriched Chrome-trace artifact (atomically, via rename)."""
+    payload = {
+        "traceEvents": trace.to_chrome_trace(),
+        "displayTimeUnit": "ms",
+        "repro": {
+            "version": ARTIFACT_VERSION,
+            "plan": model.plan_hash if model is not None else "",
+            "makespan": trace.makespan,
+            "model": model.to_dict() if model is not None else None,
+            "links": sorted(
+                [int(src), int(dst), int(nbytes)]
+                for (src, dst), nbytes in (comm_link_bytes or {}).items()
+            ),
+            "meta": dict(meta or {}),
+        },
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)
+
+
+def read_run_artifact(path: str) -> RunArtifact:
+    """Read an artifact (or any Chrome trace with "X" events) back.
+
+    Plain Chrome traces without the ``repro`` key load too — the trace is
+    rebuilt from the "X" events alone; model/links stay empty.
+    """
+    with open(path) as f:
+        payload = json.load(f)
+    if isinstance(payload, list):  # bare event array (legal Chrome format)
+        events = payload
+        payload = {}
+    else:
+        events = payload.get("traceEvents", [])
+    trace = Trace()
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        start = float(ev.get("ts", 0.0)) / 1e6
+        end = start + float(ev.get("dur", 0.0)) / 1e6
+        resource = ev.get("args", {}).get("resource", str(ev.get("tid", 0)))
+        trace.add(ev.get("name", "?"), resource, start, end)
+    extra = payload.get("repro", {}) if isinstance(payload, dict) else {}
+    model = None
+    if extra.get("model"):
+        model = PerfModel.from_dict(extra["model"])
+    links = {
+        (int(src), int(dst)): int(nbytes)
+        for src, dst, nbytes in extra.get("links", [])
+    }
+    return RunArtifact(
+        trace=trace,
+        model=model,
+        links=links,
+        plan_hash=extra.get("plan", ""),
+        makespan=float(extra.get("makespan", trace.makespan)),
+        meta=extra.get("meta", {}),
+    )

@@ -30,6 +30,23 @@ from dataclasses import dataclass, field
 from repro.util.units import fmt_time
 
 
+def rank_of_resource(resource: str) -> int | None:
+    """The process rank a resource name encodes, or ``None``.
+
+    The executor's resource vocabulary carries the rank in its second
+    dot-field — ``gpu.<rank>.<g>.comp``, ``net.<rank>``, ``cpu.<rank>`` —
+    with ``-1`` for the coordinator.  Simulated node-shared resources
+    (``net.n0``, ``cpu.n1``) and foreign names return ``None``.
+    """
+    parts = resource.split(".")
+    if len(parts) < 2 or parts[0] not in ("gpu", "net", "cpu"):
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One executed task: name, resource, and its time interval."""
@@ -52,11 +69,13 @@ class SpanStream:
     recorder's monotonic clock (seconds since its origin); ``wall_origin``
     is the wall-clock instant of that origin, used only to align streams
     from different processes.  ``dropped`` counts spans discarded once the
-    recorder's memory bound was hit.
+    recorder's memory bound was hit; the seconds those spans covered are
+    accumulated per resource under ``counters["dropped.<resource>"]`` so a
+    truncated stream's utilization reads as flagged, not silently low.
     """
 
     spans: list[tuple[str, str, float, float]] = field(default_factory=list)
-    counters: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
     dropped: int = 0
     wall_origin: float = 0.0
 
@@ -70,7 +89,8 @@ class SpanRecorder:
       recorder's origin, so an NTP step can never produce negative
       durations or skewed deadlines;
     * **bounded** — at most ``max_spans`` spans are retained; further
-      ``record`` calls only bump ``dropped``;
+      ``record`` calls bump ``dropped`` and accumulate the lost duration
+      per resource in ``counters`` (key ``dropped.<resource>``);
     * **zero-cost when disabled** — ``record``/``count`` return
       immediately, and callers can branch on ``enabled`` to skip clock
       reads entirely.
@@ -87,7 +107,7 @@ class SpanRecorder:
         self.enabled = enabled
         self.max_spans = max_spans
         self.spans: list[tuple[str, str, float, float]] = []
-        self.counters: dict[str, int] = {}
+        self.counters: dict[str, float] = {}
         self.dropped = 0
         mono = time.monotonic()
         self._origin = mono if origin is None else origin
@@ -104,11 +124,18 @@ class SpanRecorder:
         return time.monotonic() - self._origin
 
     def record(self, task: str, resource: str, start: float, end: float) -> None:
-        """Store one span; drops (and counts) beyond the memory bound."""
+        """Store one span; drops (and counts) beyond the memory bound.
+
+        A dropped span still charges its duration to the per-resource
+        ``dropped.<resource>`` counter, so busy time lost to truncation is
+        reported instead of silently deflating utilization.
+        """
         if not self.enabled:
             return
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
+            key = f"dropped.{resource}"
+            self.counters[key] = self.counters.get(key, 0.0) + (end - start)
             return
         self.spans.append((task, resource, start, end))
 
@@ -124,7 +151,7 @@ class SpanRecorder:
         finally:
             self.record(task, resource, start, self.now())
 
-    def count(self, name: str, n: int = 1) -> None:
+    def count(self, name: str, n: float = 1) -> None:
         """Bump a named counter (B-service hits, drops, ...)."""
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + n
@@ -213,9 +240,39 @@ class Trace:
         Each task becomes a complete ("X") event with its resource as the
         thread; dump with ``json.dump({"traceEvents": trace.to_chrome_trace()}, f)``
         and load in any trace viewer.
+
+        When resources carry ranks (the executor vocabulary —
+        ``gpu.<rank>.<g>.comp``, ``net.<rank>``, ...), each rank becomes
+        its own Perfetto process (pid = rank + 1, the coordinator's
+        ``-1`` mapping to pid 0) and ``process_name``/``thread_name``
+        metadata ("M") events label the lanes, so the viewer shows
+        "rank 2 / gpu.2.0.comp" instead of bare numeric ids.  Traces with
+        no rank-bearing resources keep the flat single-pid layout.
         """
-        tids = {r: i for i, r in enumerate(sorted({e.resource for e in self.events}))}
-        out = []
+        resources = sorted({e.resource for e in self.events})
+        tids = {r: i for i, r in enumerate(resources)}
+        ranks = {r: rank_of_resource(r) for r in resources}
+        labeled = any(v is not None for v in ranks.values())
+        pids = {
+            r: 0 if ranks[r] is None else ranks[r] + 1 for r in resources
+        }
+        out: list[dict] = []
+        if labeled:
+            names: dict[int, str] = {}
+            for r in resources:
+                rank = ranks[r]
+                names.setdefault(
+                    pids[r],
+                    "coordinator" if rank in (None, -1) else f"rank {rank}",
+                )
+            for pid in sorted(names):
+                out.append({"name": "process_name", "ph": "M", "pid": pid,
+                            "tid": 0, "args": {"name": names[pid]}})
+                out.append({"name": "process_sort_index", "ph": "M",
+                            "pid": pid, "tid": 0, "args": {"sort_index": pid}})
+            for r in resources:
+                out.append({"name": "thread_name", "ph": "M", "pid": pids[r],
+                            "tid": tids[r], "args": {"name": r}})
         for e in self.events:
             out.append(
                 {
@@ -224,7 +281,7 @@ class Trace:
                     "ph": "X",
                     "ts": e.start * 1e6,
                     "dur": e.duration * 1e6,
-                    "pid": 0,
+                    "pid": pids[e.resource] if labeled else 0,
                     "tid": tids[e.resource],
                     "args": {"resource": e.resource},
                 }

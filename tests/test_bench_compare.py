@@ -100,6 +100,90 @@ class TestCompare:
         assert "problem size differs" in problems[0]
 
 
+class TestSchemaDrift:
+    """Missing keys (old baseline vs new harness, or vice versa) degrade to
+    warnings — the gate exits nonzero only on an actual regression."""
+
+    def test_baseline_missing_speedup_warns_and_passes(self, capsys):
+        base = _baseline()
+        for pt in base["points"]:
+            del pt["speedup"]
+        assert compare_mod.compare(base, _baseline(), 0.15) == []
+        out = capsys.readouterr().out
+        assert "warning" in out and "'speedup'" in out and "skipped" in out
+
+    def test_current_missing_tasks_per_rank_warns_and_passes(self, capsys):
+        cur = _baseline()
+        for pt in cur["points"]:
+            del pt["tasks_per_rank"]
+        assert compare_mod.compare(_baseline(), cur, 0.15) == []
+        assert "'tasks_per_rank'" in capsys.readouterr().out
+
+    def test_missing_key_does_not_mask_other_regressions(self):
+        cur = _baseline()
+        del cur["points"][0]["speedup"]       # drifted schema on one point...
+        cur["points"][1]["ntasks"] = 999      # ...but a real drift elsewhere
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert len(problems) == 1
+        assert "plan drift" in problems[0]
+
+    def test_point_without_workers_key_is_ignored(self):
+        cur = _baseline()
+        cur["points"].append({"note": "malformed point"})
+        assert compare_mod.compare(_baseline(), cur, 0.15) == []
+
+    def test_cli_exits_zero_on_schema_drift(self, tmp_path):
+        base = _baseline()
+        del base["points"][0]["speedup"]
+        bpath = tmp_path / "base.json"
+        cpath = tmp_path / "cur.json"
+        bpath.write_text(json.dumps(base))
+        cpath.write_text(json.dumps(_baseline()))
+        assert compare_mod.main([str(bpath), str(cpath)]) == 0
+
+
+def _with_buckets(payload, scale=1.0):
+    """Attach per-bucket busy seconds to every point (the traced runs')."""
+    for pt in payload["points"]:
+        pt["buckets"] = {
+            "gemm": round(0.30 * scale, 4),
+            "qwait": round(0.05 * scale, 4),
+            "writeback": 0.02,
+        }
+    return payload
+
+
+class TestBucketBlame:
+    """A speedup regression names *what got slower* when both sides carry
+    blame-bucket seconds from the traced run."""
+
+    def test_regression_message_names_the_grown_bucket(self):
+        base = _with_buckets(_baseline())
+        cur = _with_buckets(_baseline(), scale=3.0)
+        cur["points"][0]["speedup"] = 0.25
+        problems = compare_mod.compare(base, cur, 0.15)
+        assert len(problems) == 1
+        assert "what got slower" in problems[0]
+        # gemm grew 0.6s, qwait 0.1s, writeback not at all: order by growth.
+        assert problems[0].index("gemm") < problems[0].index("qwait")
+        assert "writeback" not in problems[0]
+
+    def test_no_buckets_on_one_side_degrades_silently(self):
+        cur = _with_buckets(_baseline())
+        cur["points"][0]["speedup"] = 0.25
+        problems = compare_mod.compare(_baseline(), cur, 0.15)
+        assert len(problems) == 1
+        assert "speedup regressed" in problems[0]
+        assert "what got slower" not in problems[0]
+
+    def test_shrinking_buckets_add_no_blame(self):
+        base = _with_buckets(_baseline(), scale=3.0)
+        cur = _with_buckets(_baseline())
+        cur["points"][0]["speedup"] = 0.25
+        problems = compare_mod.compare(base, cur, 0.15)
+        assert "what got slower" not in problems[0]
+
+
 def _skew():
     return {
         "workers": 3,

@@ -120,10 +120,15 @@ class TestCommAndTrace:
         for pp in plan.procs:
             assert any(r.startswith(f"gpu.{pp.rank}.") for r in resources)
         # Prefetch (link) and compute events both present, and the Chrome
-        # export the tracing module promises still works on merged traces.
+        # export the tracing module promises still works on merged traces:
+        # one "X" span per event plus "M" metadata labeling the rank lanes.
         assert any(r.endswith(".link") for r in resources)
         assert any(r.endswith(".comp") for r in resources)
-        assert len(trace.to_chrome_trace()) == len(trace.events)
+        chrome = trace.to_chrome_trace()
+        assert len([ev for ev in chrome if ev["ph"] == "X"]) == len(trace.events)
+        names = {ev["args"]["name"] for ev in chrome
+                 if ev["ph"] == "M" and ev["name"] == "process_name"}
+        assert {f"rank {pp.rank}" for pp in plan.procs} <= names
 
 
 class TestSharedMemoryLifecycle:

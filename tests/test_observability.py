@@ -64,6 +64,21 @@ class TestSpanRecorder:
         assert rec.dropped == 2
         assert rec.stream().dropped == 2
 
+    def test_dropped_spans_charge_duration_per_resource(self):
+        """Truncation is accounted: the seconds a dropped span covered land
+        in a per-resource ``dropped.<resource>`` counter."""
+        rec = SpanRecorder(max_spans=1)
+        rec.record("keep", "gpu.0.0.comp", 0.0, 1.0)
+        rec.record("lost1", "gpu.0.0.comp", 1.0, 2.5)
+        rec.record("lost2", "net.0", 2.0, 2.25)
+        assert rec.dropped == 2
+        assert rec.counters["dropped.gpu.0.0.comp"] == pytest.approx(1.5)
+        assert rec.counters["dropped.net.0"] == pytest.approx(0.25)
+        # The counters travel with the pickled stream to the coordinator.
+        stream = pickle.loads(pickle.dumps(rec.stream()))
+        assert stream.counters["dropped.gpu.0.0.comp"] == pytest.approx(1.5)
+        assert stream.counters["dropped.net.0"] == pytest.approx(0.25)
+
     def test_span_contextmanager_and_counters(self):
         rec = SpanRecorder()
         with rec.span("work", "cpu.0"):
@@ -191,13 +206,24 @@ class TestMergedDistributedTrace:
         path = tmp_path / "trace.json"
         path.write_text(json.dumps({"traceEvents": events}))
         parsed = json.loads(path.read_text())["traceEvents"]
-        assert len(parsed) == len(report.trace.events)
-        for ev in parsed:
-            assert ev["ph"] == "X"
+        spans = [ev for ev in parsed if ev["ph"] == "X"]
+        meta = [ev for ev in parsed if ev["ph"] == "M"]
+        assert len(spans) == len(report.trace.events)
+        assert len(spans) + len(meta) == len(parsed)
+        for ev in spans:
             assert isinstance(ev["name"], str) and ev["name"]
             assert isinstance(ev["ts"], float) and isinstance(ev["dur"], float)
             assert ev["dur"] >= 0.0
             assert isinstance(ev["args"]["resource"], str)
+        # Rank lanes are labeled for Perfetto: every worker rank gets a
+        # process_name metadata event, and the coordinator lane is named.
+        proc_names = {ev["args"]["name"] for ev in meta
+                      if ev["name"] == "process_name"}
+        assert "coordinator" in proc_names
+        assert any(n.startswith("rank ") for n in proc_names)
+        thread_names = {ev["args"]["name"] for ev in meta
+                        if ev["name"] == "thread_name"}
+        assert {e.resource for e in report.trace.events} == thread_names
 
     def test_spans_lie_within_the_run_interval(self, traced_run):
         _, _, report = traced_run
@@ -264,6 +290,66 @@ class TestMergedDistributedTrace:
         c_serial, _ = psgemm_numeric(a, b, summit(2), p=2)
         assert np.array_equal(c_serial.to_dense(), c.to_dense())
         assert all(e.duration >= 0.0 for e in report.trace.events)
+
+
+class TestTraceExportEdgeCases:
+    """gantt()/to_chrome_trace() on degenerate and labeled traces."""
+
+    def test_zero_duration_spans_export_cleanly(self):
+        t = Trace()
+        t.add("instant", "gpu.0.0.comp", 1.0, 1.0)
+        t.add("work", "gpu.0.0.comp", 0.0, 2.0)
+        spans = [e for e in t.to_chrome_trace() if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["instant"]["dur"] == 0.0
+        assert by_name["work"]["dur"] == pytest.approx(2e6)
+        assert "gpu.0.0.comp" in t.gantt(width=20)
+
+    def test_empty_trace_gantt_and_chrome(self):
+        t = Trace()
+        assert t.gantt() == "(empty trace)"
+        assert t.to_chrome_trace() == []
+
+    def test_unlabeled_resources_keep_flat_pid_layout(self):
+        # Simulated-engine vocabularies ("x", "y") carry no ranks: no
+        # metadata events, everything on pid 0 — the pre-metadata format.
+        t = Trace()
+        t.add("a", "x", 0.0, 1.0)
+        t.add("b", "y", 0.5, 1.5)
+        chrome = t.to_chrome_trace()
+        assert all(e["ph"] == "X" for e in chrome)
+        assert {e["pid"] for e in chrome} == {0}
+
+    def test_rank_labeled_resources_gain_process_metadata(self):
+        t = Trace()
+        t.add("gen.0.0", "cpu.1", 0.0, 1.0)
+        t.add("reduce", "net.-1", 0.0, 0.5)
+        chrome = t.to_chrome_trace()
+        meta = [e for e in chrome if e["ph"] == "M"]
+        procs = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert procs == {"coordinator", "rank 1"}
+        pid_of = {e["args"]["resource"]: e["pid"]
+                  for e in chrome if e["ph"] == "X"}
+        assert pid_of == {"cpu.1": 2, "net.-1": 0}
+
+    def test_rank_of_resource_parsing(self):
+        from repro.runtime.tracing import rank_of_resource
+
+        assert rank_of_resource("gpu.2.0.comp") == 2
+        assert rank_of_resource("net.-1") == -1
+        assert rank_of_resource("cpu.0") == 0
+        assert rank_of_resource("net.n0") is None  # node-shared sim lanes
+        assert rank_of_resource("x") is None
+        assert rank_of_resource("gpu") is None
+
+    def test_single_resource_capacity_override(self):
+        t = Trace()
+        for i in range(3):
+            t.add(f"t{i}", "gpu.0.0.comp", 0.0, 1.0)
+        t.add("zero", "gpu.0.0.comp", 0.5, 0.5)
+        assert t.utilization({"gpu.0.0.comp": 3})["gpu.0.0.comp"] == pytest.approx(1.0)
+        assert t.busy_time("gpu.0.0.comp", capacity=3) == pytest.approx(1.0)
+        assert t.gantt(width=12).count("|") == 2  # one row, two borders
 
 
 class TestDegenerateTraces:
