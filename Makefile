@@ -1,11 +1,11 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-dist trace-smoke explain-smoke resume-smoke bench-smoke analyze model-check docs-rules bench bench-paper examples export selftest clean
+.PHONY: install test test-dist trace-smoke explain-smoke resume-smoke serve-smoke bench-smoke analyze model-check docs-rules bench bench-paper examples export selftest clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
-test: analyze model-check resume-smoke explain-smoke
+test: analyze model-check resume-smoke explain-smoke serve-smoke
 	pytest tests/
 
 # Static analysis gate: the AST concurrency lint over the source tree, then
@@ -36,6 +36,7 @@ test-dist:
 	PYTHONPATH=src timeout 120 pytest tests/test_dist_executor.py -m "" -q
 	PYTHONPATH=src timeout 300 pytest tests/test_checkpoint.py -m "" -q
 	PYTHONPATH=src timeout 300 pytest tests/test_rebalance.py -m "" -q
+	PYTHONPATH=src timeout 420 pytest tests/test_serve.py -m "" -q
 	PYTHONPATH=src timeout 120 python -m repro selftest --procs 3 \
 		--inject-fault 0:1:slow --rebalance
 
@@ -73,6 +74,15 @@ explain-smoke:
 	PYTHONPATH=src timeout 300 python -m repro selftest --procs 3 --trace /tmp/repro-run.json
 	PYTHONPATH=src timeout 120 python -m repro explain --trace /tmp/repro-run.json --json /tmp/repro-explain.json --html /tmp/repro-explain.html
 	PYTHONPATH=src python -c "import json; a = json.load(open('/tmp/repro-explain.json'))['attribution']; assert a['critical_path'], 'empty critical path'; assert a['coverage'] >= 0.5, f\"low path coverage {a['coverage']:.2f}\"; print(f\"explain-smoke OK: {len(a['critical_path'])} segments, {a['coverage']:.0%} coverage\")"
+
+# Serving-layer smoke test: 2 sequential then 2 concurrent jobs through
+# one warm ContractionService pool.  Gates: every job succeeds, the pool
+# spawned its 2 processes exactly once (warm reuse, no respawns), and the
+# repeat jobs hit the warm B-tile cache instead of regenerating.
+serve-smoke:
+	printf '{"procs": 2, "jobs": [{"seed": 0, "wait": true}, {"seed": 0, "wait": true}, {"seed": 0, "priority": 1}, {"seed": 0}]}' > /tmp/repro-serve-spec.json
+	PYTHONPATH=src timeout 300 python -m repro serve /tmp/repro-serve-spec.json --artifacts /tmp/repro-serve-art | tee /tmp/repro-serve.out
+	PYTHONPATH=src python -c "import re; txt = open('/tmp/repro-serve.out').read(); hits = re.search(r'warm B-tile hits: (\d+)', txt); spawns = re.search(r'spawned (\d+) process', txt); assert '0 failure(s)' in txt, 'serve job failed'; assert spawns and int(spawns.group(1)) == 2, 'pool respawned workers'; assert hits and int(hits.group(1)) > 0, 'no warm B reuse'; print(f'serve-smoke OK: 4 jobs, 2 warm processes, {hits.group(1)} warm tile hits')"
 
 bench:
 	pytest benchmarks/ --benchmark-only

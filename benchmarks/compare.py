@@ -138,6 +138,7 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
         print(f"workers={workers}: new point (not in baseline, not gated)")
 
     problems.extend(_compare_skew(baseline.get("skew"), current.get("skew")))
+    problems.extend(_compare_serve(baseline.get("serve"), current.get("serve")))
     return problems
 
 
@@ -172,6 +173,50 @@ def _compare_skew(base: dict | None, cur: dict | None) -> list[str]:
             f"skew: rebalancing no longer reduces the makespan "
             f"(off/on ratio {cur['makespan_ratio']:.2f}x, want >= 1.05x; "
             f"baseline {base['makespan_ratio']:.2f}x)"
+        )
+    return problems
+
+
+def _compare_serve(base: dict | None, cur: dict | None) -> list[str]:
+    """Gate the serving-layer (warm-vs-cold) scenario.
+
+    Like the skew gate, the ratio is sleep-dominated (B generation pays
+    a fixed per-tile delay that the warm job skips entirely), so the
+    check is a fixed floor — the warm repeat job must run at least 1.5x
+    faster than the cold first job — plus the mechanism checks: the warm
+    job actually hit the cache, and the pool never respawned a worker.
+    """
+    if base is None:
+        if cur is not None:
+            print("serve: new scenario (not in baseline, not gated)")
+        return []
+    if cur is None:
+        return ["serve: scenario missing from current run"]
+    problems = []
+    if _have("serve", base, cur, "ntasks") and cur["ntasks"] != base["ntasks"]:
+        problems.append(
+            f"serve: task count changed {base['ntasks']} -> {cur['ntasks']} "
+            f"(plan drift)"
+        )
+    if _have("serve", base, cur, "warm_b_hits") and cur["warm_b_hits"] <= 0:
+        problems.append(
+            "serve: the warm job hit the B-tile cache 0 times (cross-job "
+            "reuse is broken)"
+        )
+    if (
+        _have("serve", base, cur, "spawns", "workers")
+        and cur["spawns"] != cur["workers"]
+    ):
+        problems.append(
+            f"serve: pool spawned {cur['spawns']} process(es) for "
+            f"{cur['workers']} rank(s) across two jobs (workers were not "
+            f"reused)"
+        )
+    if _have("serve", base, cur, "warm_speedup") and cur["warm_speedup"] < 1.5:
+        problems.append(
+            f"serve: warm job only {cur['warm_speedup']:.2f}x faster than "
+            f"cold (want >= 1.5x; baseline {base['warm_speedup']:.2f}x) — "
+            f"the warm pool no longer amortizes B generation"
         )
     return problems
 

@@ -43,6 +43,15 @@ linter does not know about:
   leave an unflushed journal or store object behind a crash.  A handle
   deliberately owned long-term by an object that closes it carries a
   ``# repro: noqa[L308]``.
+* **L309** — a blocking ``.get()`` / ``.recv()`` call with no positional
+  arguments, no ``timeout=`` and no ``block=False`` inside the ``serve``
+  tree.  The serving layer outlives any single run; a scheduler or
+  client blocked forever on a queue that a dead worker will never feed
+  again hangs the whole service instead of failing one job.  Use
+  ``timeout=...`` or the ``*_nowait`` forms; a deliberately unbounded
+  wait carries a ``# repro: noqa[L309]``.  (Calls with positional
+  arguments — ``dict.get(key)``, store ``get(ns, key)`` — are not
+  blocking waits and are ignored.)
 
 Suppression: append ``# repro: noqa[L301]`` (comma-separate ids, or
 ``noqa[all]``) to the offending line.  Suppressions are themselves
@@ -92,6 +101,12 @@ def _in_store_tree(filename: str) -> bool:
     """Whether a path lies inside the persistent tile-store package."""
     parts = os.path.normpath(filename).replace("\\", "/").split("/")
     return "store" in parts
+
+
+def _in_serve_tree(filename: str) -> bool:
+    """Whether a path lies inside the serving-layer package."""
+    parts = os.path.normpath(filename).replace("\\", "/").split("/")
+    return "serve" in parts
 
 
 def _noqa_rules(source: str) -> dict[int, set[str]]:
@@ -159,6 +174,7 @@ class _Walker(ast.NodeVisitor):
     def __init__(self, filename: str):
         self.filename = filename
         self._in_dist = _in_dist_tree(filename)
+        self._in_serve = _in_serve_tree(filename)
         self._lint_io = self._in_dist or _in_store_tree(filename)
         self.findings: list[Finding] = []
         # Stack of enclosing Try nodes that have a cleanup call
@@ -339,6 +355,28 @@ class _Walker(ast.NodeVisitor):
                     f"close leaks the descriptor across worker retries; "
                     f"suppress a deliberately long-lived handle with "
                     f"# repro: noqa[L308]",
+                )
+
+        if (
+            self._in_serve
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "recv")
+            and not node.args
+        ):
+            kwargs = {kw.arg: kw.value for kw in node.keywords}
+            block_false = isinstance(
+                kwargs.get("block"), ast.Constant
+            ) and kwargs["block"].value is False
+            if "timeout" not in kwargs and not block_false:
+                self._emit(
+                    "L309",
+                    node,
+                    f"blocking '.{node.func.attr}()' without timeout in the "
+                    f"serve tree: the service outlives any run, and an "
+                    f"unbounded wait on a queue a dead worker will never "
+                    f"feed hangs it forever; pass timeout=... (or use the "
+                    f"_nowait/block=False forms), or suppress a deliberate "
+                    f"unbounded wait with # repro: noqa[L309]",
                 )
 
         if (

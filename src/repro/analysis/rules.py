@@ -167,6 +167,14 @@ register(Rule("L308", "unmanaged-file-handle", W,
               "(and can leave an unflushed journal/store object behind a "
               "crash); a deliberately long-lived handle is suppressed with "
               "# repro: noqa[L308]"))
+register(Rule("L309", "unbounded-blocking-recv", E,
+              "a blocking '.get()'/'.recv()' with no timeout in the serve "
+              "tree: the serving layer's scheduler and clients outlive any "
+              "single run, so an unbounded wait on a queue a dead worker "
+              "will never feed again hangs the service forever instead of "
+              "failing the one job; pass timeout=... (or use the _nowait/"
+              "block=False forms); a deliberately unbounded wait is "
+              "suppressed with # repro: noqa[L309]"))
 register(Rule("L399", "stale-noqa", W,
               "a '# repro: noqa[RULE]' suppression whose rule does not fire "
               "on that line (or that names an unknown rule): stale "

@@ -14,7 +14,11 @@ Commands mirror the paper's evaluation artifacts:
   blame buckets, model-vs-measured roofline audit, and (with
   ``--baseline``) a run-to-run diff of what got slower;
 * ``monitor``    — render a run's live per-rank health table from its
-  ``run-events.jsonl`` event log (``--follow`` tails a running job);
+  ``run-events.jsonl`` event log (``--follow`` tails a running job;
+  ``--run-id`` selects one job's scoped log from a shared directory);
+* ``serve``      — run a batch of contraction jobs from a spec file
+  through one persistent :class:`~repro.serve.ContractionService`
+  (warm worker pool, priority queue, per-job artifacts);
 * ``metrics``    — run a small distributed job and print its merged
   metrics in Prometheus text exposition format;
 * ``analyze``    — static plan verifier + task-graph checks (CI gate);
@@ -380,17 +384,20 @@ def _cmd_monitor(args) -> int:
     import os
     import time
 
-    from repro.dist import read_events, replay_health
+    from repro.dist import read_events, replay_health, resolve_events_path
+
+    run_id = getattr(args, "run_id", None)
+    path = resolve_events_path(args.events, run_id)
 
     def render() -> tuple[str, bool]:
-        if not os.path.exists(args.events):
-            return f"(waiting for {args.events})", False
-        events = read_events(args.events)
+        if not os.path.exists(path):
+            return f"(waiting for {path})", False
+        events = read_events(path, run_id=run_id)
         health = replay_health(events)
         finished = any(ev.get("event") == "done" for ev in events)
         last = events[-1]["t"] if events else None
         table = health.table(now=last)
-        head = f"{args.events}: {len(events)} event(s)" + (
+        head = f"{path}: {len(events)} event(s)" + (
             " — run complete" if finished else ""
         )
         return head + "\n" + table, finished
@@ -398,7 +405,7 @@ def _cmd_monitor(args) -> int:
     if not args.follow:
         text, _ = render()
         print(text)
-        return 0 if os.path.exists(args.events) else 1
+        return 0 if os.path.exists(path) else 1
 
     while True:
         text, finished = render()
@@ -406,6 +413,106 @@ def _cmd_monitor(args) -> int:
         if finished:
             return 0
         time.sleep(args.interval)
+
+
+def _serve_operands(job: dict):
+    """Operands for one spec-file job (seed-deterministic, B generated)."""
+    from repro.runtime import DelayedGeneratedCollection, GeneratedCollection
+    from repro.sparse import random_block_sparse
+    from repro.tiling import random_tiling
+
+    m = int(job.get("m", 200))
+    k = int(job.get("k", 600))
+    seed = int(job.get("seed", 0))
+    density = float(job.get("density", 0.5))
+    rows = random_tiling(m, 20, 80, seed=seed)
+    inner = random_tiling(k, 20, 80, seed=seed + 1)
+    a = random_block_sparse(rows, inner, density, seed=seed + 2)
+    b_shape = random_block_sparse(inner, inner, density, seed=seed + 3).sparse_shape()
+    delay = float(job.get("gen_delay_s", 0.0))
+    if delay > 0.0:
+        b = DelayedGeneratedCollection(b_shape, seed=seed + 4, gen_delay_s=delay)
+    else:
+        b = GeneratedCollection(b_shape, seed=seed + 4)
+    return a, b
+
+
+def _serve_table(snapshots: list[dict]) -> str:
+    head = f"{'job':<14} {'state':<9} {'prio':>4} {'queued_s':>9} {'run_s':>7}"
+    lines = [head, "-" * len(head)]
+    for s in snapshots:
+        run_s = f"{s['run_s']:.3f}" if s["run_s"] is not None else "-"
+        lines.append(
+            f"{s['job_id']:<14} {s['state']:<9} {s['priority']:>4} "
+            f"{s['queued_s']:>9.3f} {run_s:>7}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.core import inspect
+    from repro.machine import summit
+    from repro.serve import ContractionService, JobFailedError
+
+    with open(args.spec, encoding="utf-8") as fh:
+        spec = json.load(fh)
+    jobs = spec.get("jobs", [])
+    if not jobs:
+        print(f"{args.spec}: no jobs in spec", file=sys.stderr)
+        return 1
+    procs = args.procs or int(spec.get("procs", 2))
+    svc = ContractionService(
+        procs,
+        artifacts_dir=args.artifacts,
+        queue_limit=args.queue_limit,
+        verify=args.verify,
+    )
+    submitted: list[str] = []
+    failures = 0
+    try:
+        for i, job in enumerate(jobs):
+            a, b = _serve_operands(job)
+            plan = inspect(
+                a.sparse_shape(), b.shape, summit(procs), p=int(job.get("p", 1))
+            )
+            job_id = svc.submit(plan, a, b, priority=int(job.get("priority", 0)))
+            submitted.append(job_id)
+            print(f"submitted {job_id} (spec job {i}, "
+                  f"priority {job.get('priority', 0)})")
+            if job.get("wait"):
+                # Sequential phase boundary: later jobs must see this
+                # one's warm state (or its failure) before they queue.
+                try:
+                    svc.result(job_id, timeout=args.timeout)
+                except JobFailedError as exc:
+                    failures += 1
+                    print(f"job {job_id} FAILED: {exc}", file=sys.stderr)
+        while any(s["state"] in ("queued", "running") for s in svc.jobs()):
+            print(_serve_table(svc.jobs()), flush=True)
+            time.sleep(args.interval)
+        for job_id in submitted:
+            try:
+                svc.result(job_id, timeout=args.timeout)
+            except JobFailedError as exc:
+                failures += 1
+                print(f"job {job_id} FAILED: {exc}", file=sys.stderr)
+        print(_serve_table(svc.jobs()))
+        reports = [svc.report(j) for j in submitted]
+        warm_hits = sum(r.b_store_hits for r in reports if r is not None)
+        print(
+            f"{len(submitted)} job(s), {failures} failure(s); pool spawned "
+            f"{svc.pool.spawns} process(es) for {procs} rank(s); "
+            f"warm B-tile hits: {warm_hits}"
+        )
+        if args.artifacts:
+            print(f"per-job artifacts under {args.artifacts}/ "
+                  f"(run-events.<id>.jsonl, trace.<id>.json, metrics.<id>.prom)")
+        return 1 if failures else 0
+    finally:
+        svc.shutdown()
 
 
 def _cmd_metrics(args) -> int:
@@ -692,7 +799,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="keep re-rendering until the run's 'done' event")
     mo.add_argument("--interval", type=float, default=1.0,
                     help="seconds between --follow refreshes (default 1)")
+    mo.add_argument("--run-id",
+                    help="select one job's run-scoped log "
+                         "(run-events.<run-id>.jsonl next to EVENTS) and "
+                         "filter its records to that run")
     mo.set_defaults(func=_cmd_monitor)
+
+    se = sub.add_parser(
+        "serve",
+        help="run a batch of jobs through one warm contraction service",
+    )
+    se.add_argument("spec",
+                    help="JSON spec: {\"procs\": N, \"jobs\": [{\"m\", \"k\", "
+                         "\"seed\", \"priority\", \"gen_delay_s\", \"wait\"}]}")
+    se.add_argument("--procs", type=int, default=0,
+                    help="worker ranks in the pool (default: spec's, else 2)")
+    se.add_argument("--artifacts", default="serve-artifacts",
+                    help="directory for per-job event/trace/metrics files "
+                         "(default serve-artifacts)")
+    se.add_argument("--queue-limit", type=int, default=8,
+                    help="max jobs queued or running (default 8)")
+    se.add_argument("--timeout", type=float, default=300.0,
+                    help="per-job result timeout in seconds (default 300)")
+    se.add_argument("--interval", type=float, default=0.5,
+                    help="seconds between queue-table refreshes (default 0.5)")
+    se.add_argument("--verify", action="store_true",
+                    help="run the full static plan verifier inside each job")
+    se.set_defaults(func=_cmd_serve)
 
     me = sub.add_parser(
         "metrics",

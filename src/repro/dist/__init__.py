@@ -17,6 +17,8 @@ oracle: same plan, same seeds, identical C.
 * :mod:`~repro.dist.worker` — the per-rank process with double-buffered
   chunk prefetch and fault hooks;
 * :mod:`~repro.dist.coordinator` — scatter / supervise / reduce / clean up;
+* :mod:`~repro.dist.pool` — a warm worker pool the coordinator can borrow,
+  so the serving layer (:mod:`repro.serve`) reuses processes across runs;
 * :mod:`~repro.dist.faults` — kill/delay/stall fault plans for recovery tests;
 * :mod:`~repro.dist.health` — live heartbeats, stall/straggler detection,
   and the structured run-event log ``repro monitor`` attaches to.
@@ -29,7 +31,7 @@ serial oracle and checkpoint-safe (handoffs journal into per-handoff
 sidecar files under the origin rank).
 """
 
-from repro.dist.bservice import ArenaBSource, BService, validate_b_budget
+from repro.dist.bservice import ArenaBSource, BService, TieredBStore, validate_b_budget
 from repro.dist.comm import (
     COORDINATOR,
     BlockDoneMsg,
@@ -48,7 +50,10 @@ from repro.dist.health import (
     RunHealth,
     read_events,
     replay_health,
+    resolve_events_path,
+    run_scoped_events_path,
 )
+from repro.dist.pool import WorkerPool
 from repro.dist.tile_store import ArenaMeta, TileArena, active_segments
 from repro.dist.worker import ScatterMsg, WorkerReport
 
@@ -72,11 +77,15 @@ __all__ = [
     "RelinquishMsg",
     "RunHealth",
     "ScatterMsg",
+    "TieredBStore",
     "TileArena",
+    "WorkerPool",
     "WorkerReport",
     "active_segments",
     "execute_plan_distributed",
     "read_events",
     "replay_health",
+    "resolve_events_path",
+    "run_scoped_events_path",
     "validate_b_budget",
 ]

@@ -178,6 +178,40 @@ class BService:
         return self._mem.used
 
 
+class TieredBStore:
+    """Chain two B-tile store tiers behind one ``get``/``put`` interface.
+
+    ``front`` is a fast in-memory tier — a serving pool's process-lifetime
+    warm cache (:class:`repro.serve.WarmTileCache`) — and ``back`` the
+    persistent on-disk :class:`~repro.store.TileStore` (or ``None`` when
+    the run has no disk tier).  Reads promote back-tier hits into the
+    front so one disk read per process lifetime suffices; writes land in
+    both tiers.  Both tiers are keyed by the operand-fingerprint
+    namespace, so a tile served from either is bit-identical to what the
+    generator would produce — which tier answered can never change the
+    numeric result.
+    """
+
+    def __init__(self, front, back=None):
+        self._front = front
+        self._back = back
+
+    def get(self, ns: str, key):
+        arr = self._front.get(ns, key)
+        if arr is not None:
+            return arr
+        if self._back is not None:
+            arr = self._back.get(ns, key)
+            if arr is not None:
+                self._front.put(ns, key, arr)
+        return arr
+
+    def put(self, ns: str, key, arr) -> None:
+        self._front.put(ns, key, arr)
+        if self._back is not None:
+            self._back.put(ns, key, arr)
+
+
 class ArenaBSource:
     """A concrete B operand read zero-copy from a shared-memory arena.
 

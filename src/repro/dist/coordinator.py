@@ -152,6 +152,9 @@ class DistReport:
     store_hits: int = 0
     store_misses: int = 0
     store_puts: int = 0
+    #: B tiles served from any cache tier (warm in-process or disk)
+    #: instead of generated — nonzero on a warm pooled run's repeat job.
+    b_store_hits: int = 0
     handoffs: int = 0
     blocks_rebalanced: int = 0
     tasks_rebalanced: int = 0
@@ -161,6 +164,9 @@ class DistReport:
     #: Merged recorder counters from every rank (dropped.<resource>
     #: seconds, bytes.* accumulators, B-service hit counts, ...).
     span_counters: dict[str, float] = field(default_factory=dict)
+    #: Run identifier the caller scoped this run's artifacts under
+    #: (``None`` for unscoped one-shot runs).
+    run_id: str | None = None
 
     @property
     def span_dropped(self) -> int:
@@ -326,6 +332,8 @@ def execute_plan_distributed(
     store_budget_bytes: int | None = None,
     snapshot_interval: float = 1.0,
     rebalance: bool = False,
+    pool=None,
+    run_id: str | None = None,
 ) -> tuple[BlockSparseMatrix, DistReport]:
     """Run the plan across one real worker process per planned rank.
 
@@ -351,7 +359,22 @@ def execute_plan_distributed(
     report; the merged run-wide snapshot lands in ``report.metrics``.
     ``events_path`` appends the run's life-cycle (``plan_accepted``,
     ``worker_up``, ``heartbeat``, ``stall``, ``reassign``, ``done``, ...)
-    as JSONL — the file ``repro monitor`` tails.
+    as JSONL — the file ``repro monitor`` tails.  A ``run_id`` scopes the
+    log to a per-run file (``run-events.<run_id>.jsonl``) and stamps
+    every record, so concurrent jobs sharing an events directory never
+    clobber each other; ``report.events_path`` names the file written.
+
+    Pooled execution: ``pool`` (a :class:`~repro.dist.pool.WorkerPool`
+    with ``pool.nranks == plan.grid.nprocs``) lends this run its comm
+    layer and warm worker processes — the coordinator spawns nothing it
+    can reuse and, crucially, terminates nothing in its ``finally``, so
+    the processes (and any warm B-tile caches inside them) survive for
+    the next run.  The pool's owner is responsible for teardown
+    (:meth:`~repro.dist.pool.WorkerPool.close`) and, after a run that
+    raised, for resetting the pool (a worker may still be computing for
+    the dead run; :mod:`repro.serve` recycles the processes and drains
+    stale traffic).  ``start_method`` is ignored when a pool is given —
+    the pool's context wins.
 
     Persistence: ``store_dir`` roots a :class:`~repro.store.TileStore`
     that backs every rank's B service as a second cache tier (tiles
@@ -418,10 +441,14 @@ def execute_plan_distributed(
     persist = checkpoint_dir is not None or store_dir is not None
     plan_hash = b_hash = run_hash = ""
     coord_store: TileStore | None = None
-    if persist:
+    if persist or pool is not None:
+        # A pooled run fingerprints its operands even without a disk
+        # tier: the workers' process-lifetime warm caches are keyed by
+        # the B fingerprint, and an empty namespace would alias operands.
         plan_hash = plan_fingerprint(plan)
         b_hash = b_fingerprint(b)
         run_hash = run_fingerprint(plan_hash, b_hash, alpha)
+    if persist:
         store_root = store_dir or f"{checkpoint_dir}/store"
         if checkpoint_dir is not None:
             snap = read_snapshot(checkpoint_dir)
@@ -436,9 +463,18 @@ def execute_plan_distributed(
                 )
         coord_store = TileStore(store_root, budget_bytes=store_budget_bytes)
 
-    ctx = mp.get_context(start_method or _start_method())
     nranks = plan.grid.nprocs
-    comm = CommLayer(nranks, ctx)
+    if pool is not None:
+        require(not pool.closed, "worker pool is closed")
+        require(
+            pool.nranks == nranks,
+            f"plan wants {nranks} rank(s) but the pool serves {pool.nranks}",
+        )
+        ctx = pool.ctx
+        comm = pool.comm
+    else:
+        ctx = mp.get_context(start_method or _start_method())
+        comm = CommLayer(nranks, ctx)
     coord = comm.endpoint(COORDINATOR)
     comm_stats = CommStats()
     # The coordinator's own recorder doubles as the run's monotonic clock
@@ -484,7 +520,7 @@ def execute_plan_distributed(
         stall_after_beats=stall_after_beats,
         straggler_fraction=straggler_fraction,
     )
-    events = EventLog(events_path)
+    events = EventLog(events_path, run_id)
     events.emit(
         "plan_accepted",
         nranks=nranks,
@@ -632,6 +668,13 @@ def execute_plan_distributed(
 
         def spawn(rank: int) -> None:
             spawn_clock[rank] = clock()
+            if pool is not None:
+                # Borrowed process: alive from a previous run (warm) or
+                # respawned by the pool after a failure.  The pool keeps
+                # the canonical record; ``workers`` mirrors it so the
+                # supervise loop's liveness checks read one dict.
+                workers[rank] = pool.ensure(rank)
+                return
             proc = ctx.Process(
                 target=worker_main, args=(rank, comm.endpoint(rank)), daemon=True
             )
@@ -1287,7 +1330,7 @@ def execute_plan_distributed(
             shm_bytes=sum(arena.used_bytes for arena in arenas),
             metrics=merged_metrics,
             health=health,
-            events_path=events_path,
+            events_path=events.path,
             stalled=stalled,
             checkpoint_dir=checkpoint_dir,
             run_hash=run_hash,
@@ -1297,11 +1340,13 @@ def execute_plan_distributed(
             store_hits=sum(reports[r].store_hits for r in range(nranks)),
             store_misses=sum(reports[r].store_misses for r in range(nranks)),
             store_puts=sum(reports[r].store_puts for r in range(nranks)),
+            b_store_hits=sum(reports[r].b_store_hits for r in range(nranks)),
             handoffs=len(handoff_results),
             blocks_rebalanced=sum(len(s) for s in stolen_blocks.values()),
             tasks_rebalanced=sum(stolen_tasks(r) for r in stolen_blocks),
             model=perf_model,
             span_counters=span_counters,
+            run_id=run_id,
         )
         events.emit(
             "done",
@@ -1318,13 +1363,19 @@ def execute_plan_distributed(
         events.close()
         if coord_store is not None:
             coord_store.close()
-        for proc in workers.values():
-            if proc.is_alive():
-                proc.terminate()
-            proc.join(timeout=2.0)
+        if pool is None:
+            # One-shot run: the coordinator owns the processes and the
+            # comm layer, so it tears both down.  A borrowed pool stays
+            # warm — its owner (the serving layer) decides when workers
+            # die, and resets the pool itself after a failed run.
+            for proc in workers.values():
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=2.0)
         for arena in arenas:
             arena.unlink()
-        try:
-            comm.close()
-        except Exception:  # pragma: no cover - queue teardown is best-effort
-            pass
+        if pool is None:
+            try:
+                comm.close()
+            except Exception:  # pragma: no cover - queue teardown best-effort
+                pass

@@ -302,6 +302,49 @@ class RunHealth:
         return "\n".join(lines)
 
 
+def run_scoped_events_path(path: str, run_id: str) -> str:
+    """The per-run event-log filename for a base path and a run id.
+
+    ``run-events.jsonl`` + run ``r42`` becomes ``run-events.r42.jsonl``
+    (the run id slots in before the extension); a path without a
+    ``.jsonl`` suffix gets ``.<run_id>.jsonl`` appended.  Concurrent jobs
+    each write their own file instead of clobbering one shared name.
+    """
+    if path.endswith(".jsonl"):
+        return f"{path[:-len('.jsonl')]}.{run_id}.jsonl"
+    return f"{path}.{run_id}.jsonl"
+
+
+def resolve_events_path(path: str, run_id: str | None = None) -> str:
+    """Pick the concrete event-log file a monitor should read.
+
+    ``run_id`` selects that run's per-run file (``run-events.<id>.jsonl``)
+    — unless ``path`` already names an existing file scoped to it.  With
+    no run id, a ``path`` that exists wins (the classic single-run
+    layout); otherwise the most recently modified per-run sibling is
+    chosen, so ``repro monitor --follow`` attaches to the newest job of a
+    serving pool without being told its id.  Falls back to ``path``
+    verbatim when nothing matches yet (a monitor may start first).
+    """
+    import glob
+    import os
+
+    if run_id:
+        scoped = run_scoped_events_path(path, run_id)
+        if os.path.exists(path) and not os.path.exists(scoped):
+            for ev in read_events(path):
+                if ev.get("run") == run_id:
+                    return path
+        return scoped
+    if os.path.exists(path):
+        return path
+    pattern = run_scoped_events_path(path, "*")
+    siblings = glob.glob(pattern)
+    if siblings:
+        return max(siblings, key=os.path.getmtime)
+    return path
+
+
 class EventLog:
     """Append-only JSONL run events (``run-events.jsonl``).
 
@@ -311,10 +354,18 @@ class EventLog:
     writer, so lines are never interleaved.  Each ``emit`` flushes — a
     monitor tailing the file (or a human with ``tail -f``) sees events
     as they happen, and a crashed coordinator loses nothing.
+
+    A ``run_id`` redirects the log to the per-run filename
+    (:func:`run_scoped_events_path`) and stamps every record with a
+    ``run`` field, so concurrent jobs sharing one events directory never
+    clobber each other; ``path`` reports the file actually written.
     """
 
-    def __init__(self, path: str | None):
+    def __init__(self, path: str | None, run_id: str | None = None):
+        if path and run_id:
+            path = run_scoped_events_path(path, run_id)
         self.path = path
+        self.run_id = run_id
         self._fh = open(path, "w", encoding="utf-8") if path else None  # repro: noqa[L308] - handle owned by the log, closed in close()
         self.count = 0
 
@@ -322,6 +373,8 @@ class EventLog:
         if self._fh is None:
             return
         record = {"t": time.time(), "event": event}  # repro: noqa[L306]
+        if self.run_id:
+            record["run"] = self.run_id
         record.update(fields)
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
@@ -333,7 +386,7 @@ class EventLog:
             self._fh = None
 
 
-def read_events(path: str) -> list[dict]:
+def read_events(path: str, run_id: str | None = None) -> list[dict]:
     """Parse a ``run-events.jsonl`` file (skipping torn trailing lines).
 
     Crash consistency: a coordinator killed mid-``write`` leaves a torn
@@ -342,6 +395,11 @@ def read_events(path: str) -> list[dict]:
     bytes and each line decoded independently, so one mangled line (torn,
     invalid UTF-8, or valid JSON that is not an object) is skipped without
     poisoning the rest.
+
+    Back-compat across the per-run split: legacy single-run logs (no
+    ``run`` field) and per-run logs parse identically.  ``run_id``
+    filters to one run's records; records without a ``run`` stamp pass
+    the filter (a legacy log *is* its only run).
     """
     out: list[dict] = []
     with open(path, "rb") as fh:
@@ -354,8 +412,11 @@ def read_events(path: str) -> list[dict]:
             record = json.loads(line.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             continue  # torn final line of a live (or killed) file
-        if isinstance(record, dict):
-            out.append(record)
+        if not isinstance(record, dict):
+            continue
+        if run_id is not None and record.get("run", run_id) != run_id:
+            continue
+        out.append(record)
     return out
 
 

@@ -1,0 +1,163 @@
+"""Warm worker pool: process lifecycle split out of the coordinator.
+
+Historically :func:`repro.dist.coordinator.execute_plan_distributed`
+owned its worker processes — spawned at run start, terminated in the
+run's ``finally`` — so every contraction paid process startup, and
+nothing could be reused across runs.  :class:`WorkerPool` inverts that:
+it owns the :class:`~repro.dist.comm.CommLayer` and one
+:func:`~repro.dist.worker.worker_main` process per rank for as long as
+the *caller* wants, and the coordinator merely borrows them for one run
+(``execute_plan_distributed(..., pool=...)``).  The serving layer
+(:mod:`repro.serve`) keeps one pool warm across many jobs; passing no
+pool reproduces the classic one-shot behaviour exactly (the coordinator
+creates a private pool and closes it in its ``finally``).
+
+Division of labour — deliberate, so the protocol surface stays where the
+conformance pass (M410-M412) audits it:
+
+* **this module** handles *process* lifecycle only: spawn, respawn after
+  a failure, liveness, terminate.  It never sends or receives a message.
+* **the coordinator** speaks the declared protocol (scatter/report/
+  relinquish/handoff) over the pool's endpoints, exactly as before.
+* **the serving layer** owns cross-run concerns: the shutdown pill a
+  pooled worker's dispatch loop exits on, draining stale traffic between
+  jobs, and the process-lifetime warm B-tile cache it injects through
+  ``tile_cache_factory``.
+
+Worker processes are daemons (lint rule L307): a crashed owner can never
+leave orphan workers behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.dist.comm import COORDINATOR, CommLayer
+from repro.dist.worker import worker_main
+from repro.util.validation import require
+
+
+def _default_start_method() -> str:
+    """Prefer fork (cheap, inherits the warm page cache) when available."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """One warm worker process per rank, reusable across runs.
+
+    Parameters
+    ----------
+    nranks:
+        Ranks the pool serves; a borrowed run's plan must match exactly
+        (the coordinator enforces it).
+    start_method:
+        Multiprocessing start method; defaults to fork when available.
+    tile_cache_factory:
+        Zero-argument callable producing the process-lifetime warm
+        B-tile cache handed to each spawned worker (pickled empty across
+        the spawn, populated inside the worker).  ``None`` spawns plain
+        workers — pool reuse then amortizes process startup only.
+
+    Spawning is lazy: construction allocates the comm layer but no
+    processes; :meth:`ensure` (or :meth:`start`) brings ranks up on
+    first use and transparently respawns ranks that died.  ``spawns``
+    counts every process ever started — a serving test asserting "the
+    second job reused the warm pool" checks it did not grow.
+    """
+
+    def __init__(self, nranks: int, *, start_method: str | None = None,
+                 tile_cache_factory=None):
+        require(nranks >= 1, f"pool needs at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.ctx = mp.get_context(start_method or _default_start_method())
+        self.comm = CommLayer(nranks, self.ctx)
+        self._tile_cache_factory = tile_cache_factory
+        self._workers: dict[int, mp.process.BaseProcess] = {}
+        self.spawns = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring every rank up (idempotent)."""
+        for rank in range(self.nranks):
+            self.ensure(rank)
+
+    def ensure(self, rank: int):
+        """The live worker process for ``rank``, (re)spawning if needed."""
+        require(not self._closed, "worker pool is closed")
+        require(0 <= rank < self.nranks, f"rank {rank} outside pool of {self.nranks}")
+        proc = self._workers.get(rank)
+        if proc is not None and proc.is_alive():
+            return proc
+        cache = (
+            self._tile_cache_factory()
+            if self._tile_cache_factory is not None else None
+        )
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(rank, self.comm.endpoint(rank), cache, True),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[rank] = proc
+        self.spawns += 1
+        return proc
+
+    def process(self, rank: int):
+        """The rank's current process record (possibly dead), or ``None``."""
+        return self._workers.get(rank)
+
+    def alive_ranks(self) -> list[int]:
+        return sorted(
+            r for r, p in self._workers.items() if p is not None and p.is_alive()
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- teardown ------------------------------------------------------------
+
+    def endpoint(self):
+        """The coordinator-side endpoint of the pool's comm layer.
+
+        Exposed for the serving layer's between-job housekeeping (stale
+        drain, shutdown pill); the protocol traffic itself stays in the
+        coordinator and :mod:`repro.serve`.
+        """
+        return self.comm.endpoint(COORDINATOR)
+
+    def terminate(self, timeout: float = 2.0) -> None:
+        """Hard-stop every worker process (keeps the comm layer usable)."""
+        for proc in self._workers.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._workers.values():
+            proc.join(timeout=timeout)
+        self._workers.clear()
+
+    def join(self, timeout: float = 5.0) -> list[int]:
+        """Wait for workers to exit on their own; returns ranks still alive.
+
+        Used by the serving layer's graceful shutdown after it has sent
+        each rank the pill; stragglers are the caller's to terminate.
+        """
+        for proc in self._workers.values():
+            proc.join(timeout=timeout)
+        return self.alive_ranks()
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Terminate all workers and tear the comm layer down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.terminate(timeout=timeout)
+        try:
+            self.comm.close()
+        except Exception:  # pragma: no cover - queue teardown is best-effort
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{len(self.alive_ranks())} alive"
+        return f"WorkerPool({self.nranks} rank(s), {state}, {self.spawns} spawn(s))"

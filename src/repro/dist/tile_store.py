@@ -14,7 +14,9 @@ a run fails or a worker is killed mid-flight.
 
 from __future__ import annotations
 
+import itertools
 import os
+import secrets
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
@@ -25,7 +27,10 @@ from repro.util.validation import require
 #: Segment names created by *this* process and not yet unlinked.
 _ACTIVE_SEGMENTS: set[str] = set()
 
-_SEQ = 0
+#: Atomic per-process sequence (``itertools.count`` increments under the
+#: GIL, so concurrent in-process jobs can never draw the same number —
+#: the old ``_SEQ += 1`` read-modify-write could).
+_SEQ = itertools.count(1)
 
 
 def active_segments() -> frozenset[str]:
@@ -34,10 +39,14 @@ def active_segments() -> frozenset[str]:
 
 
 def next_segment_name(tag: str) -> str:
-    """A per-process-unique segment name (``psgemm-<pid>-<seq>-<tag>``)."""
-    global _SEQ
-    _SEQ += 1
-    return f"psgemm-{os.getpid()}-{_SEQ}-{tag}"
+    """A unique segment name (``psgemm-<pid>-<seq>-<token>-<tag>``).
+
+    Thread-safe and collision-proof: the sequence number is drawn
+    atomically, and the random token guards against the one hole the
+    ``(pid, seq)`` pair leaves — a recycled pid on a host where a crashed
+    run's segments still linger under the old name.
+    """
+    return f"psgemm-{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(4)}-{tag}"
 
 
 TileKey = tuple[int, int]

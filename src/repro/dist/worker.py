@@ -64,7 +64,7 @@ import numpy as np
 
 from repro.core.grid import ProcessGrid
 from repro.core.plan import Block, ProcPlan
-from repro.dist.bservice import ArenaBSource, BService
+from repro.dist.bservice import ArenaBSource, BService, TieredBStore
 from repro.dist.comm import (
     COORDINATOR,
     BlockDoneMsg,
@@ -163,6 +163,11 @@ class WorkerReport:
     store_hits: int = 0
     store_misses: int = 0
     store_puts: int = 0
+    #: B tiles the rank's B service read from *any* store tier (warm
+    #: in-process cache or persistent disk store) instead of generating.
+    #: This is the warm-reuse signal a serving pool's second job shows
+    #: even when no disk store is configured.
+    b_store_hits: int = 0
     blocks_restored: int = 0
     tasks_skipped: int = 0
 
@@ -389,12 +394,28 @@ def _instrumented_fetcher(a_arena: TileArena, rec: SpanRecorder, rank: int,
     return fetcher
 
 
+def _b_store(tile_cache, store, b_hash: str):
+    """Compose the B service's store tier(s) for one scattered attempt.
+
+    ``tile_cache`` is a process-lifetime in-memory warm cache a serving
+    pool injected at worker spawn; it layers in front of the per-run disk
+    store so a pooled worker's second job over the same B fingerprint is
+    served from memory.  Without a fingerprint the cache is skipped —
+    there is no namespace to key it by, and serving another operand's
+    tiles would be a correctness bug, not a cache miss.
+    """
+    if tile_cache is None or not b_hash:
+        return store
+    return TieredBStore(tile_cache, store)
+
+
 def run_rank(
     msg: ScatterMsg,
     *,
     origin: float | None = None,
     recv_done: float | None = None,
     endpoint: Endpoint | None = None,
+    tile_cache=None,
 ) -> WorkerReport:
     """Execute one scattered rank; returns the report (arena already written).
 
@@ -403,6 +424,8 @@ def run_rank(
     ``origin`` so the wait appears as the rank's first span.  ``endpoint``
     carries heartbeats out on the telemetry channel; without one (or with
     ``msg.heartbeat_interval <= 0``) the rank runs silently as before.
+    ``tile_cache`` is a serving pool's process-lifetime warm B-tile cache
+    (see :func:`_b_store`); ``None`` reproduces the one-shot behaviour.
     """
     rank = msg.proc.rank
     rec = SpanRecorder(enabled=msg.trace, max_spans=msg.max_spans, origin=origin)
@@ -451,7 +474,8 @@ def run_rank(
                 b_source = BService(
                     payload, budget_bytes=msg.gpu_memory_bytes, recorder=rec,
                     metrics=registry,
-                    store=store, store_ns=f"b:{msg.b_hash}",
+                    store=_b_store(tile_cache, store, msg.b_hash),
+                    store_ns=f"b:{msg.b_hash}",
                 )
 
             c_arena = TileArena.attach(msg.c_meta) if msg.c_meta is not None else None
@@ -634,6 +658,7 @@ def run_rank(
             store_hits=store_stats.hits if store_stats else 0,
             store_misses=store_stats.misses if store_stats else 0,
             store_puts=store_stats.puts if store_stats else 0,
+            b_store_hits=getattr(b_source, "store_hits", 0),
             blocks_restored=ckpt_counters["blocks_restored"],
             tasks_skipped=ckpt_counters["tasks_skipped"],
         )
@@ -710,7 +735,7 @@ def execute_handoff_blocks(
     return produced, stats
 
 
-def run_handoff(msg) -> tuple[dict, NumericStats]:
+def run_handoff(msg, tile_cache=None) -> tuple[dict, NumericStats]:
     """Execute one :class:`~repro.dist.comm.HandoffMsg` on a helper rank.
 
     Attaches the shared A arena and the handoff's dedicated C arena,
@@ -748,7 +773,8 @@ def run_handoff(msg) -> tuple[dict, NumericStats]:
         else:
             b_source = BService(
                 payload, budget_bytes=msg.gpu_memory_bytes, metrics=registry,
-                store=store, store_ns=f"b:{msg.b_hash}",
+                store=_b_store(tile_cache, store, msg.b_hash),
+                store_ns=f"b:{msg.b_hash}",
             )
         c_arena = TileArena.attach(msg.c_meta)
         attached.append(c_arena)
@@ -776,7 +802,8 @@ def run_handoff(msg) -> tuple[dict, NumericStats]:
             arena.close()
 
 
-def worker_main(rank: int, endpoint: Endpoint) -> None:
+def worker_main(rank: int, endpoint: Endpoint, tile_cache=None,
+                pooled: bool = False) -> None:
     """Process entry point: a dispatch loop over coordinator messages.
 
     The first message is normally this rank's :class:`ScatterMsg`; after
@@ -787,6 +814,14 @@ def worker_main(rank: int, endpoint: Endpoint) -> None:
     here (rather than at a mid-run block boundary) raced against this
     rank's completion or respawn — it is acked empty so the coordinator
     can retire the request.
+
+    Pooled lifetime: under a :class:`~repro.dist.pool.WorkerPool`
+    (``pooled=True``) the same loop serves one :class:`ScatterMsg` *per
+    job*, process outliving run; ``tile_cache`` (pickled empty at spawn,
+    populated here) is the process-lifetime warm B-tile cache that makes
+    job N+1 over the same B fingerprint start hot.  Any unrecognised
+    directive — the serving layer's shutdown pill included — exits the
+    loop quietly.
 
     Protocol:
         recv scatter: coordinator -> worker [data]
@@ -811,9 +846,16 @@ def worker_main(rank: int, endpoint: Endpoint) -> None:
             _, msg, _ = endpoint.recv()
             if isinstance(msg, ScatterMsg):
                 attempt = msg.attempt
+                # A pooled worker roots each job's trace at scatter
+                # receipt: its idle stretch between jobs (and every
+                # previous job's spans) must not bleed into this job's
+                # inbox-wait accounting.  One-shot workers keep the
+                # spawn-rooted origin so process startup stays visible.
                 report = run_rank(
-                    msg, origin=t_spawn, recv_done=time.monotonic(),
-                    endpoint=endpoint,
+                    msg,
+                    origin=None if pooled else t_spawn,
+                    recv_done=None if pooled else time.monotonic(),
+                    endpoint=endpoint, tile_cache=tile_cache,
                 )
                 endpoint.send(COORDINATOR, ("done", rank, report))
             elif isinstance(msg, RelinquishMsg):
@@ -822,7 +864,7 @@ def worker_main(rank: int, endpoint: Endpoint) -> None:
                 )
             elif isinstance(msg, HandoffMsg):
                 try:
-                    c_index, stats = run_handoff(msg)
+                    c_index, stats = run_handoff(msg, tile_cache=tile_cache)
                 except Exception:  # noqa: BLE001 - helper failure is recoverable
                     endpoint.send(
                         COORDINATOR,
@@ -834,7 +876,7 @@ def worker_main(rank: int, endpoint: Endpoint) -> None:
                         ("handoff_done", rank, msg.handoff_id, c_index, stats),
                     )
             else:
-                return  # unknown directive: exit quietly
+                return  # unknown directive (incl. the serve pool's shutdown pill): exit quietly
     except BaseException:  # noqa: BLE001 - ship the traceback to the coordinator
         try:
             endpoint.send(

@@ -21,7 +21,12 @@ those pieces at the fidelity a simulation needs:
 * :mod:`~repro.runtime.tracing` — execution traces and utilization.
 """
 
-from repro.runtime.data import GeneratedCollection, MatrixSource, TileSource
+from repro.runtime.data import (
+    DelayedGeneratedCollection,
+    GeneratedCollection,
+    MatrixSource,
+    TileSource,
+)
 from repro.runtime.gpu_memory import GpuMemory, GpuMemoryError
 from repro.runtime.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runtime.numeric import NumericStats, execute_plan
@@ -33,6 +38,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "TileSource",
+    "DelayedGeneratedCollection",
     "GeneratedCollection",
     "MatrixSource",
     "GpuMemory",

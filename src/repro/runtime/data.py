@@ -13,6 +13,7 @@ of a run is schedule-independent.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Protocol
 
@@ -158,3 +159,33 @@ class GeneratedCollection:
         for k, j in zip(ii.tolist(), jj.tolist()):
             out.set_tile(k, j, self._generate(k, j))
         return out
+
+
+class DelayedGeneratedCollection(GeneratedCollection):
+    """A :class:`GeneratedCollection` whose generation costs wall time.
+
+    Each :meth:`_generate` sleeps ``gen_delay_s`` before producing the
+    tile, standing in for the expensive integral/tensor evaluation the
+    paper's generation functions perform.  Values are bit-identical to a
+    plain collection with the same seed — only the cost differs — so the
+    operand fingerprint (and therefore every warm-cache key) matches the
+    undelayed twin.  Benchmarks use this to measure cache effectiveness
+    with a host-stable, sleep-dominated signal: a warm run skips the
+    sleeps, a cold one pays them.
+    """
+
+    def __init__(self, shape: SparseShape, fill: str = "random", seed=None,
+                 gen_delay_s: float = 0.0):
+        super().__init__(shape, fill=fill, seed=seed)
+        self.gen_delay_s = gen_delay_s
+
+    def _generate(self, k: int, j: int) -> np.ndarray:
+        if self.gen_delay_s > 0.0:
+            time.sleep(self.gen_delay_s)
+        return super()._generate(k, j)
+
+    def empty_clone(self) -> "DelayedGeneratedCollection":
+        return DelayedGeneratedCollection(
+            self.shape, fill=self.fill, seed=self._rng,
+            gen_delay_s=self.gen_delay_s,
+        )

@@ -414,3 +414,65 @@ class TestFilesScanned:
         report = lint_paths([str(tmp_path / "missing")])
         assert report.files_scanned == 0
         assert report.ok and report.exit_code() == 0
+
+
+class TestUnboundedBlockingRecv:
+    @staticmethod
+    def _lint_serve(src):
+        return {
+            f.rule
+            for f in lint_source(
+                textwrap.dedent(src), filename="src/repro/serve/service.py"
+            )
+        }
+
+    def test_blocking_get_without_timeout_fires_l309(self):
+        assert self._lint_serve("""
+            def loop(q):
+                return q.get()
+        """) == {"L309"}
+
+    def test_blocking_recv_without_timeout_fires_l309(self):
+        assert self._lint_serve("""
+            def pump(endpoint):
+                src, msg, n = endpoint.recv()
+                return msg
+        """) == {"L309"}
+
+    def test_timeout_kwarg_is_clean(self):
+        assert self._lint_serve("""
+            def loop(q, ep):
+                a = q.get(timeout=0.1)
+                b = ep.recv(timeout=1.0)
+                return a, b
+        """) == set()
+
+    def test_nonblocking_forms_are_clean(self):
+        assert self._lint_serve("""
+            def drain(q, ep):
+                a = q.get_nowait()
+                b = ep.recv_nowait()
+                c = q.get(block=False)
+                return a, b, c
+        """) == set()
+
+    def test_positional_args_mean_lookup_not_wait(self):
+        # dict.get(key) / store.get(ns, key) are lookups, not blocking waits.
+        assert self._lint_serve("""
+            def lookup(d, store):
+                return d.get("key"), store.get("ns", (0, 0))
+        """) == set()
+
+    def test_outside_serve_tree_is_ignored(self):
+        assert {
+            f.rule
+            for f in lint_source(
+                "def loop(q):\n    return q.get()\n",
+                filename="src/repro/dist/worker.py",
+            )
+        } == set()
+
+    def test_noqa_suppresses_l309(self):
+        assert self._lint_serve(
+            "def loop(q):\n    return q.get()  # repro: noqa[L309]\n"
+        ) == set()

@@ -75,6 +75,35 @@ class TestCli:
         assert main(["monitor", path]) == 1
         assert "waiting for" in capsys.readouterr().out
 
+    def test_monitor_run_id_selects_scoped_log(self, capsys, tmp_path):
+        from repro.dist import EventLog
+
+        base = str(tmp_path / "run-events.jsonl")
+        for run_id, nranks in (("job-a", 1), ("job-b", 2)):
+            log = EventLog(base, run_id=run_id)
+            log.emit("plan_accepted", nranks=nranks, heartbeat_interval=0.1,
+                     tasks_per_rank={str(r): 3 for r in range(nranks)})
+            for r in range(nranks):
+                log.emit("rank_done", rank=r, attempt=0, tasks=3)
+            log.emit("done", ntasks=3 * nranks, heartbeats=0)
+            log.close()
+        assert main(["monitor", base, "--run-id", "job-b"]) == 0
+        out = capsys.readouterr().out
+        assert "run-events.job-b.jsonl" in out
+        assert "run complete" in out
+        assert main(["monitor", base, "--run-id", "job-a"]) == 0
+        assert "run-events.job-a.jsonl" in capsys.readouterr().out
+
+    def test_monitor_without_run_id_falls_back_to_newest(self, capsys, tmp_path):
+        from repro.dist import EventLog
+
+        base = str(tmp_path / "run-events.jsonl")
+        log = EventLog(base, run_id="only")
+        log.emit("done", ntasks=0, heartbeats=0)
+        log.close()
+        assert main(["monitor", base]) == 0
+        assert "run-events.only.jsonl" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -413,3 +413,81 @@ class TestReplay:
         ])
         health = replay_health(events)
         assert health.ranks[0].state == "straggler"
+
+
+class TestRunScopedEventLog:
+    """Per-run event files: satellite fix for concurrent-run clobbering."""
+
+    def test_run_id_scopes_path_and_stamps_records(self, tmp_path):
+        from repro.dist import resolve_events_path, run_scoped_events_path
+
+        base = str(tmp_path / "run-events.jsonl")
+        log = EventLog(base, run_id="job-7")
+        assert log.path == run_scoped_events_path(base, "job-7")
+        assert log.path.endswith("run-events.job-7.jsonl")
+        log.emit("plan_accepted", nranks=1)
+        log.close()
+        events = read_events(log.path)
+        assert events and all(e["run"] == "job-7" for e in events)
+        assert resolve_events_path(base, "job-7") == log.path
+
+    def test_concurrent_runs_do_not_clobber(self, tmp_path):
+        base = str(tmp_path / "run-events.jsonl")
+        log_a = EventLog(base, run_id="a")
+        log_b = EventLog(base, run_id="b")
+        log_a.emit("plan_accepted", nranks=1)
+        log_b.emit("plan_accepted", nranks=2)
+        log_a.emit("done", ntasks=1)
+        log_b.emit("done", ntasks=2)
+        log_a.close()
+        log_b.close()
+        ev_a = read_events(log_a.path)
+        ev_b = read_events(log_b.path)
+        assert [e["run"] for e in ev_a] == ["a", "a"]
+        assert [e["run"] for e in ev_b] == ["b", "b"]
+        assert ev_b[0]["nranks"] == 2
+
+    def test_read_events_filters_mixed_file_by_run(self, tmp_path):
+        # A legacy shared file with interleaved runs: filtering recovers
+        # one run's stream; unstamped legacy records pass through.
+        path = str(tmp_path / "run-events.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"t": 1.0, "event": "x", "run": "a"}) + "\n")
+            fh.write(json.dumps({"t": 2.0, "event": "y", "run": "b"}) + "\n")
+            fh.write(json.dumps({"t": 3.0, "event": "legacy"}) + "\n")
+        assert [e["event"] for e in read_events(path, run_id="a")] == [
+            "x", "legacy"
+        ]
+        assert len(read_events(path)) == 3
+
+    def test_resolve_prefers_base_then_newest_sibling(self, tmp_path):
+        import os
+        import time
+
+        from repro.dist import resolve_events_path
+
+        base = str(tmp_path / "run-events.jsonl")
+        # No file at all: the base path comes back unchanged.
+        assert resolve_events_path(base) == base
+        old = str(tmp_path / "run-events.old.jsonl")
+        new = str(tmp_path / "run-events.new.jsonl")
+        for p in (old, new):
+            with open(p, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"t": 1.0, "event": "done"}) + "\n")
+        past = time.time() - 60
+        os.utime(old, (past, past))
+        # No run id: newest run-scoped sibling wins.
+        assert resolve_events_path(base) == new
+        # An existing base file wins over siblings.
+        with open(base, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"t": 1.0, "event": "done"}) + "\n")
+        assert resolve_events_path(base) == base
+
+    def test_unscoped_log_stays_backward_compatible(self, tmp_path):
+        path = str(tmp_path / "run-events.jsonl")
+        log = EventLog(path)
+        log.emit("done", ntasks=1)
+        log.close()
+        events = read_events(path)
+        assert log.path == path
+        assert events and "run" not in events[0]

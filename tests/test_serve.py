@@ -1,0 +1,298 @@
+"""Tests for the serving layer (:mod:`repro.serve`).
+
+The contract under test: one warm pool serves many jobs, every job's C
+is bit-for-bit equal to the serial oracle (even when clients submit
+concurrently), job artifacts never collide, higher-priority jobs jump
+the queue, admission control rejects what the pool cannot run, and a
+failed job leaves the service healthy.
+
+Fast unit tests (warm cache, admission, event-log scoping) run in
+tier-1; everything that spawns worker processes is marked ``dist`` and
+runs via ``make test-dist``.
+"""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import inspect
+from repro.machine import summit
+from repro.runtime import DelayedGeneratedCollection, GeneratedCollection, execute_plan
+from repro.serve import (
+    AdmissionError,
+    BackpressureError,
+    ContractionService,
+    JobFailedError,
+    WarmTileCache,
+)
+from repro.sparse import random_block_sparse
+from repro.tiling import random_tiling
+
+
+def operands(seed=0, m=200, nk=600, density=0.5, gen_delay_s=0.0):
+    rows = random_tiling(m, 20, 80, seed=seed)
+    inner = random_tiling(nk, 20, 80, seed=seed + 1)
+    a = random_block_sparse(rows, inner, density, seed=seed + 2)
+    b_shape = random_block_sparse(inner, inner, density, seed=seed + 3).sparse_shape()
+    if gen_delay_s > 0.0:
+        b = DelayedGeneratedCollection(b_shape, seed=seed + 4, gen_delay_s=gen_delay_s)
+    else:
+        b = GeneratedCollection(b_shape, seed=seed + 4)
+    return a, b
+
+
+@pytest.fixture()
+def problem():
+    a, b = operands(seed=0)
+    plan = inspect(a.sparse_shape(), b.shape, summit(2), p=1)
+    assert plan.grid.nprocs == 2
+    c_serial, _ = execute_plan(plan, a, b.empty_clone())
+    return plan, a, b, c_serial.to_dense()
+
+
+# ---- warm cache (tier-1) ---------------------------------------------------
+
+
+class TestWarmTileCache:
+    def test_get_put_roundtrip_and_stats(self):
+        cache = WarmTileCache(1 << 20)
+        assert cache.get("ns", (0, 0)) is None
+        tile = np.arange(6.0).reshape(2, 3)
+        cache.put("ns", (0, 0), tile)
+        out = cache.get("ns", (0, 0))
+        assert np.array_equal(out, tile)
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_put_copies_and_serves_read_only(self):
+        cache = WarmTileCache(1 << 20)
+        tile = np.ones((2, 2))
+        cache.put("ns", (0, 0), tile)
+        tile[:] = 7.0  # caller's buffer dies / mutates after the run
+        out = cache.get("ns", (0, 0))
+        assert np.array_equal(out, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            out[0, 0] = 9.0
+
+    def test_namespaces_do_not_alias(self):
+        cache = WarmTileCache(1 << 20)
+        cache.put("b:aaa", (0, 0), np.zeros((2, 2)))
+        assert cache.get("b:bbb", (0, 0)) is None
+
+    def test_lru_eviction_under_budget(self):
+        tile = np.zeros((8, 8))  # 512 B
+        cache = WarmTileCache(tile.nbytes * 2)
+        for i in range(3):
+            cache.put("ns", (0, i), tile)
+        assert cache.get("ns", (0, 0)) is None  # oldest evicted
+        assert cache.get("ns", (0, 2)) is not None
+        assert cache.evictions == 1
+        assert cache.cached_bytes <= cache.budget_bytes
+
+    def test_oversized_tile_not_cached(self):
+        cache = WarmTileCache(64)
+        cache.put("ns", (0, 0), np.zeros((8, 8)))
+        assert len(cache) == 0
+
+    def test_pickles_empty(self):
+        import pickle
+
+        cache = WarmTileCache(12345)
+        cache.put("ns", (0, 0), np.zeros((2, 2)))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.budget_bytes == 12345
+        assert len(clone) == 0 and clone.get("ns", (0, 0)) is None
+
+
+# ---- admission control (tier-1: rejected before any process spawns) --------
+
+
+class TestAdmission:
+    def test_rank_mismatch_rejected(self, problem):
+        plan, a, b, _ = problem
+        svc = ContractionService(plan.grid.nprocs + 1)
+        try:
+            with pytest.raises(AdmissionError, match="rank"):
+                svc.submit(plan, a, b.empty_clone())
+            assert svc.pool.spawns == 0
+        finally:
+            svc.shutdown()
+
+    def test_memory_rule_violation_rejected_with_findings(self, problem):
+        plan, a, b, _ = problem
+        plan.procs[0].blocks[0].c_bytes = plan.gpu_memory_bytes  # fires P110
+        svc = ContractionService(plan.grid.nprocs)
+        try:
+            with pytest.raises(AdmissionError) as exc:
+                svc.submit(plan, a, b.empty_clone())
+            assert any(f.rule == "P110" for f in exc.value.findings)
+            assert svc.pool.spawns == 0
+        finally:
+            svc.shutdown()
+
+    def test_unknown_job_id(self, problem):
+        plan, *_ = problem
+        svc = ContractionService(plan.grid.nprocs)
+        try:
+            with pytest.raises(ValueError, match="unknown job"):
+                svc.result("nope")
+        finally:
+            svc.shutdown()
+
+
+# ---- full service behaviour (multi-process; `make test-dist`) --------------
+
+
+@pytest.mark.dist
+class TestContractionService:
+    def test_concurrent_jobs_bit_equal_to_serial_oracle(self, problem, tmp_path):
+        plan, a, b, oracle = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+        try:
+            def client(i: int) -> None:
+                try:
+                    jid = svc.submit(plan, a, b.empty_clone())
+                    out, _ = svc.result(jid, timeout=120)
+                    results[i] = out.to_dense()
+                except BaseException as exc:  # noqa: BLE001 - reraised below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            assert not errors, errors
+            assert len(results) == 4
+            for i, dense in results.items():
+                assert np.array_equal(dense, oracle), f"client {i} C differs"
+        finally:
+            svc.shutdown()
+
+    def test_warm_pool_reused_across_jobs(self, problem, tmp_path):
+        plan, a, b, oracle = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        try:
+            j1 = svc.submit(plan, a, b.empty_clone())
+            out1, rep1 = svc.result(j1, timeout=120)
+            spawns_after_first = svc.pool.spawns
+            j2 = svc.submit(plan, a, b.empty_clone())
+            out2, rep2 = svc.result(j2, timeout=120)
+            assert np.array_equal(out1.to_dense(), oracle)
+            assert np.array_equal(out2.to_dense(), oracle)
+            # Same processes served both jobs...
+            assert svc.pool.spawns == spawns_after_first == plan.grid.nprocs
+            # ...and the second job's B tiles came from the warm tier.
+            assert rep1.b_store_hits == 0
+            assert rep2.b_store_hits > 0
+            assert rep2.b_store_hits == rep2.stats.b_tiles_generated
+        finally:
+            svc.shutdown()
+
+    def test_per_job_artifacts_are_disjoint(self, problem, tmp_path):
+        plan, a, b, _ = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        try:
+            ids = [svc.submit(plan, a, b.empty_clone()) for _ in range(2)]
+            reports = [svc.result(j, timeout=120)[1] for j in ids]
+        finally:
+            svc.shutdown()
+        names = sorted(os.listdir(tmp_path))
+        for jid, rep in zip(ids, reports):
+            assert rep.run_id == jid
+            assert f"run-events.{jid}.jsonl" in names
+            assert f"trace.{jid}.json" in names
+            assert f"metrics.{jid}.prom" in names
+            assert os.path.basename(rep.events_path) == f"run-events.{jid}.jsonl"
+            # Each event log carries only its own run's records.
+            with open(os.path.join(tmp_path, f"run-events.{jid}.jsonl")) as fh:
+                records = [json.loads(line) for line in fh]
+            assert records and all(r["run"] == jid for r in records)
+            with open(os.path.join(tmp_path, f"trace.{jid}.json")) as fh:
+                assert json.load(fh), "empty chrome trace"
+
+    def test_priority_jumps_queue_under_saturation(self, tmp_path):
+        a, b = operands(seed=2, m=150, nk=450, gen_delay_s=0.02)
+        plan = inspect(a.sparse_shape(), b.shape, summit(2), p=1)
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        try:
+            blocker = svc.submit(plan, a, b.empty_clone())
+            # While the blocker occupies the pool, queue low before high.
+            low = svc.submit(plan, a, b.empty_clone(), priority=0)
+            high = svc.submit(plan, a, b.empty_clone(), priority=5)
+            for jid in (blocker, low, high):
+                svc.result(jid, timeout=180)
+            started = {jid: svc._job(jid).started_s for jid in (low, high)}
+            assert started[high] < started[low], (
+                "high-priority job did not jump the queue"
+            )
+        finally:
+            svc.shutdown()
+
+    def test_backpressure_when_queue_full(self, tmp_path):
+        a, b = operands(seed=3, m=150, nk=450, gen_delay_s=0.02)
+        plan = inspect(a.sparse_shape(), b.shape, summit(2), p=1)
+        svc = ContractionService(
+            plan.grid.nprocs, artifacts_dir=str(tmp_path), queue_limit=2
+        )
+        try:
+            ids = [svc.submit(plan, a, b.empty_clone()) for _ in range(2)]
+            with pytest.raises(BackpressureError):
+                svc.submit(plan, a, b.empty_clone())
+            for jid in ids:  # drains the queue; admission reopens
+                svc.result(jid, timeout=180)
+            ids.append(svc.submit(plan, a, b.empty_clone()))
+            svc.result(ids[-1], timeout=180)
+        finally:
+            svc.shutdown()
+
+    def test_failed_job_does_not_poison_the_service(self, problem, tmp_path):
+        from repro.dist import FaultPlan
+
+        plan, a, b, oracle = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        try:
+            doomed = svc.submit(
+                plan, a, b.empty_clone(),
+                fault_plan=FaultPlan.parse("0:1:abort", plan.grid.nprocs),
+            )
+            with pytest.raises(JobFailedError):
+                svc.result(doomed, timeout=120)
+            assert svc.status(doomed) == "failed"
+            healthy = svc.submit(plan, a, b.empty_clone())
+            out, _ = svc.result(healthy, timeout=120)
+            assert np.array_equal(out.to_dense(), oracle)
+        finally:
+            svc.shutdown()
+
+    def test_drain_and_resume(self, problem, tmp_path):
+        plan, a, b, _ = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        try:
+            jid = svc.submit(plan, a, b.empty_clone())
+            assert svc.drain(timeout=120)
+            assert svc.status(jid) == "done"
+            with pytest.raises(AdmissionError, match="draining"):
+                svc.submit(plan, a, b.empty_clone())
+            svc.resume()
+            jid2 = svc.submit(plan, a, b.empty_clone())
+            svc.result(jid2, timeout=120)
+        finally:
+            svc.shutdown()
+
+    def test_shutdown_is_graceful_and_idempotent(self, problem, tmp_path):
+        plan, a, b, _ = problem
+        svc = ContractionService(plan.grid.nprocs, artifacts_dir=str(tmp_path))
+        jid = svc.submit(plan, a, b.empty_clone())
+        svc.shutdown()
+        svc.shutdown()  # idempotent
+        assert svc.pool.closed
+        assert svc.status(jid) == "done"  # graceful shutdown drained it
+        with pytest.raises(ValueError, match="shut down"):
+            svc.submit(plan, a, b.empty_clone())
